@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on older pip/setuptools stacks (and offline
+environments without the ``wheel`` package) via the legacy editable-install
+path.
+"""
+
+from setuptools import setup
+
+setup()

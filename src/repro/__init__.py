@@ -1,0 +1,21 @@
+"""S-RAPS reproduction: a scheduling-enabled HPC data-center digital twin.
+
+The package reproduces the system described in "HPC Digital Twins for
+Evaluating Scheduling Policies, Incentive Structures and their Impact on
+Power and Cooling" (SC 2025): a forward-time digital-twin simulation loop
+coupling batch scheduling, per-job power modelling, electrical conversion
+losses and a transient cooling plant, plus account-based incentive policies,
+ML-guided scheduling and adapters for external scheduling simulators.
+
+Quick start::
+
+    from repro import run_simulation
+
+    result = run_simulation(system="tiny", policy="fcfs", backfill="easy",
+                            duration="6h", seed=1)
+    print(result.stats.summary())
+"""
+
+from .version import __version__
+
+__all__ = ["__version__"]

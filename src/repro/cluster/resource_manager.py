@@ -1,0 +1,223 @@
+"""The resource manager: node inventory, allocation and release.
+
+The resource manager completes placements decided by the scheduler
+(Sec. 3.2.3/3.2.4 of the paper): in replay mode the exact recorded node set
+is enforced, in reschedule mode the scheduler requests *n* nodes and the
+resource manager selects them. It also resolves the timing corner case the
+paper mentions — jobs ending and starting on the same node within the same
+time step — because releases are always processed before new allocations in
+the engine's step order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..exceptions import AllocationError
+from ..telemetry.job import Job, JobState
+from .node import Node, NodeState
+
+
+class ResourceManager:
+    """Owns the node inventory of a simulated system.
+
+    Parameters
+    ----------
+    system:
+        The system configuration (node counts, partitions, down fraction).
+    seed:
+        Seed used only to pick which nodes are marked down when
+        ``system.down_node_fraction`` is non-zero.
+    """
+
+    def __init__(self, system: SystemConfig, *, seed: int = 0) -> None:
+        self.system = system
+        self.nodes: list[Node] = [Node(node_id=i) for i in range(system.total_nodes)]
+        self._running: dict[int, Job] = {}
+        if system.down_node_fraction > 0.0:
+            rng = np.random.default_rng(seed)
+            n_down = int(round(system.down_node_fraction * system.total_nodes))
+            for node_id in rng.choice(system.total_nodes, size=n_down, replace=False):
+                self.nodes[int(node_id)].mark_down()
+
+    # -- inventory queries -----------------------------------------------------
+
+    @property
+    def total_nodes(self) -> int:
+        """Total node count (including down nodes)."""
+        return len(self.nodes)
+
+    @property
+    def available_nodes(self) -> int:
+        """Number of idle, in-service nodes."""
+        return sum(1 for node in self.nodes if node.is_available)
+
+    @property
+    def allocated_nodes(self) -> int:
+        """Number of nodes currently running a job."""
+        return sum(1 for node in self.nodes if node.state is NodeState.ALLOCATED)
+
+    @property
+    def down_nodes(self) -> int:
+        """Number of down/drained nodes."""
+        return sum(1 for node in self.nodes if node.state is NodeState.DOWN)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of in-service nodes that are allocated."""
+        in_service = self.total_nodes - self.down_nodes
+        if in_service == 0:
+            return 0.0
+        return self.allocated_nodes / in_service
+
+    @property
+    def running_jobs(self) -> list[Job]:
+        """Jobs currently occupying nodes (stable job-id order)."""
+        return [self._running[jid] for jid in sorted(self._running)]
+
+    def job_on_node(self, node_id: int) -> Job | None:
+        """Return the job running on ``node_id``, if any."""
+        job_id = self.nodes[node_id].job_id
+        return self._running.get(job_id) if job_id is not None else None
+
+    def available_node_ids(self, partition: str | None = None) -> list[int]:
+        """Ids of idle nodes, optionally restricted to one partition."""
+        if partition is None:
+            candidates: Iterable[Node] = self.nodes
+        else:
+            node_range = self.system.partition_node_range(partition)
+            candidates = (self.nodes[i] for i in node_range)
+        return [node.node_id for node in candidates if node.is_available]
+
+    def can_allocate(self, job: Job) -> bool:
+        """Whether the job's node request can currently be satisfied."""
+        if job.recorded_nodes and self._replay_placement_possible(job):
+            return True
+        partition = job.partition if self._partition_exists(job.partition) else None
+        return len(self.available_node_ids(partition)) >= job.nodes_required
+
+    # -- allocation / release ---------------------------------------------------
+
+    def allocate(
+        self,
+        job: Job,
+        now: float,
+        *,
+        node_ids: Sequence[int] | None = None,
+        exact_placement: bool = False,
+    ) -> tuple[int, ...]:
+        """Place ``job`` on nodes at time ``now`` and mark it running.
+
+        Parameters
+        ----------
+        job:
+            The job to place. Must be queued (or pending for prepopulation).
+        now:
+            Current simulation time.
+        node_ids:
+            Explicit placement (scheduler- or replay-chosen). When omitted,
+            the first available nodes of the job's partition are used.
+        exact_placement:
+            Replay mode — require the job's recorded nodes; if any of them is
+            unavailable an :class:`AllocationError` is raised.
+
+        Returns
+        -------
+        tuple[int, ...]
+            The node ids the job was placed on.
+        """
+        if job.job_id in self._running:
+            raise AllocationError(f"job {job.job_id} is already running")
+        if exact_placement:
+            if not job.recorded_nodes:
+                raise AllocationError(
+                    f"job {job.job_id}: exact placement requested but the job "
+                    "has no recorded nodes"
+                )
+            chosen = tuple(job.recorded_nodes)
+        elif node_ids is not None:
+            chosen = tuple(node_ids)
+        else:
+            partition = job.partition if self._partition_exists(job.partition) else None
+            free = self.available_node_ids(partition)
+            if len(free) < job.nodes_required:
+                raise AllocationError(
+                    f"job {job.job_id}: requested {job.nodes_required} nodes, "
+                    f"only {len(free)} available"
+                )
+            chosen = tuple(free[: job.nodes_required])
+
+        if len(set(chosen)) != len(chosen):
+            raise AllocationError(f"job {job.job_id}: duplicate node ids in placement")
+        if len(chosen) != job.nodes_required:
+            raise AllocationError(
+                f"job {job.job_id}: placement of {len(chosen)} nodes does not "
+                f"match request of {job.nodes_required}"
+            )
+        unavailable = [nid for nid in chosen if not self.nodes[nid].is_available]
+        if unavailable:
+            raise AllocationError(
+                f"job {job.job_id}: nodes {unavailable[:8]} are not available"
+            )
+
+        for nid in chosen:
+            self.nodes[nid].allocate(job.job_id, now)
+        job.mark_running(now, chosen)
+        self._running[job.job_id] = job
+        return chosen
+
+    def release(self, job: Job, now: float) -> None:
+        """Free the nodes of a finished job and mark it completed."""
+        if job.job_id not in self._running:
+            raise AllocationError(f"job {job.job_id} is not running")
+        for nid in job.assigned_nodes:
+            self.nodes[nid].release(now)
+        del self._running[job.job_id]
+        if job.state is JobState.RUNNING:
+            job.mark_completed(now)
+
+    def complete_finished_jobs(self, now: float) -> list[Job]:
+        """Release every running job whose simulated end time has arrived.
+
+        This is step (1) of the engine loop — clearing completed jobs before
+        new submissions and scheduling, which resolves same-timestep
+        end/start collisions on a node.
+        """
+        finished = [
+            job
+            for job in self._running.values()
+            if job.sim_start_time is not None
+            and now - job.sim_start_time >= job.duration
+        ]
+        for job in sorted(finished, key=lambda j: j.job_id):
+            end_time = (job.sim_start_time or 0.0) + job.duration
+            for nid in job.assigned_nodes:
+                self.nodes[nid].release(end_time)
+            del self._running[job.job_id]
+            job.mark_completed(end_time)
+        return finished
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _partition_exists(self, name: str) -> bool:
+        return any(p.name == name for p in self.system.partitions)
+
+    def _replay_placement_possible(self, job: Job) -> bool:
+        return all(
+            0 <= nid < self.total_nodes and self.nodes[nid].is_available
+            for nid in job.recorded_nodes
+        )
+
+    def snapshot(self) -> dict[str, float]:
+        """Small dictionary snapshot used by the statistics collector."""
+        return {
+            "total_nodes": float(self.total_nodes),
+            "allocated_nodes": float(self.allocated_nodes),
+            "available_nodes": float(self.available_nodes),
+            "down_nodes": float(self.down_nodes),
+            "utilization": float(self.utilization),
+            "running_jobs": float(len(self._running)),
+        }

@@ -1,0 +1,34 @@
+"""System configuration for the digital-twin simulation.
+
+A :class:`~repro.config.system_config.SystemConfig` captures everything the
+simulator needs to know about the physical machine being twinned: node and
+partition inventory, per-component power characteristics, electrical
+conversion-loss parameters and cooling-plant parameters. The
+:mod:`repro.config.defaults` module ships ready-made configurations for the
+five systems used in the paper (Frontier, Marconi100, Fugaku, Lassen,
+Adastra) plus a small ``tiny`` system used by the test-suite.
+"""
+
+from .system_config import (
+    CoolingConfig,
+    NodePowerConfig,
+    PartitionConfig,
+    PowerLossConfig,
+    SystemConfig,
+)
+from .defaults import (
+    available_systems,
+    get_system_config,
+    register_system_config,
+)
+
+__all__ = [
+    "CoolingConfig",
+    "NodePowerConfig",
+    "PartitionConfig",
+    "PowerLossConfig",
+    "SystemConfig",
+    "available_systems",
+    "get_system_config",
+    "register_system_config",
+]

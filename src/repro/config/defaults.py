@@ -1,0 +1,266 @@
+"""Built-in system configurations.
+
+One configuration per system used in the paper (Table 1), plus a small
+``tiny`` system used throughout the test-suite where full-scale node counts
+would only slow tests down. Component power figures are approximations taken
+from public specifications of the respective node architectures; absolute
+wattage is not the point of the reproduction — the coupling between
+utilization, power, losses and cooling is.
+
+Systems (Table 1 of the paper):
+
+========== =============== ======== ============ ==========
+System     Architecture    Nodes    Dataset      Scheduler
+========== =============== ======== ============ ==========
+Frontier   HPE/Cray EX     9,600    proprietary  Slurm
+Marconi100 IBM POWER9      980      PM100        Slurm
+Fugaku     Fujitsu A64FX   158,976  F-Data       Fujitsu TCS
+Lassen     IBM POWER9      792      LAST         LSF
+Adastra    HPE/Cray EX     356      Cirou        Slurm
+========== =============== ======== ============ ==========
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from .system_config import (
+    CoolingConfig,
+    NodePowerConfig,
+    PartitionConfig,
+    PowerLossConfig,
+    SystemConfig,
+)
+
+_REGISTRY: dict[str, SystemConfig] = {}
+
+
+def register_system_config(config: SystemConfig, *, overwrite: bool = False) -> None:
+    """Register a system configuration under ``config.name``.
+
+    Site-specific configurations can be added by downstream users without
+    touching the built-in registry, mirroring the plugin mechanism of S-RAPS.
+    """
+    key = config.name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"system {config.name!r} already registered")
+    _REGISTRY[key] = config
+
+
+def get_system_config(name: str) -> SystemConfig:
+    """Look up a registered system configuration by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown system {name!r}; known systems: {known}")
+    return _REGISTRY[key]
+
+
+def available_systems() -> tuple[str, ...]:
+    """Names of all registered systems, sorted alphabetically."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# Node power characteristics
+# ---------------------------------------------------------------------------
+
+#: Frontier node: 1x AMD Trento CPU + 4x MI250X GPUs (8 GCDs), liquid cooled.
+FRONTIER_NODE = NodePowerConfig(
+    idle_watts=220.0,
+    cpu_idle_watts=90.0,
+    cpu_max_watts=280.0,
+    gpu_idle_watts=90.0,
+    gpu_max_watts=560.0,
+    mem_dynamic_watts=80.0,
+    cpus_per_node=1,
+    gpus_per_node=4,
+)
+
+#: Marconi100 node: 2x POWER9 + 4x V100.
+MARCONI100_NODE = NodePowerConfig(
+    idle_watts=240.0,
+    cpu_idle_watts=60.0,
+    cpu_max_watts=190.0,
+    gpu_idle_watts=40.0,
+    gpu_max_watts=300.0,
+    mem_dynamic_watts=60.0,
+    cpus_per_node=2,
+    gpus_per_node=4,
+)
+
+#: Fugaku node: single A64FX socket, no discrete GPU.
+FUGAKU_NODE = NodePowerConfig(
+    idle_watts=60.0,
+    cpu_idle_watts=40.0,
+    cpu_max_watts=170.0,
+    gpu_idle_watts=0.0,
+    gpu_max_watts=0.0,
+    mem_dynamic_watts=30.0,
+    cpus_per_node=1,
+    gpus_per_node=0,
+)
+
+#: Lassen node: 2x POWER9 + 4x V100 (similar to Marconi100/Sierra class).
+LASSEN_NODE = NodePowerConfig(
+    idle_watts=250.0,
+    cpu_idle_watts=60.0,
+    cpu_max_watts=190.0,
+    gpu_idle_watts=40.0,
+    gpu_max_watts=300.0,
+    mem_dynamic_watts=60.0,
+    cpus_per_node=2,
+    gpus_per_node=4,
+)
+
+#: Adastra MI250X partition node: 1x Trento CPU + 4x MI250X.
+ADASTRA_GPU_NODE = NodePowerConfig(
+    idle_watts=220.0,
+    cpu_idle_watts=90.0,
+    cpu_max_watts=280.0,
+    gpu_idle_watts=90.0,
+    gpu_max_watts=560.0,
+    mem_dynamic_watts=80.0,
+    cpus_per_node=1,
+    gpus_per_node=4,
+)
+
+#: Small CPU-only node used by the ``tiny`` test system.
+TINY_NODE = NodePowerConfig(
+    idle_watts=100.0,
+    cpu_idle_watts=50.0,
+    cpu_max_watts=200.0,
+    gpu_idle_watts=25.0,
+    gpu_max_watts=300.0,
+    mem_dynamic_watts=40.0,
+    cpus_per_node=2,
+    gpus_per_node=2,
+)
+
+
+# ---------------------------------------------------------------------------
+# System configurations
+# ---------------------------------------------------------------------------
+
+FRONTIER = SystemConfig(
+    name="frontier",
+    description="HPE/Cray EX, AMD MI250X, liquid cooled (OLCF Frontier)",
+    partitions=(PartitionConfig("batch", 9600, FRONTIER_NODE),),
+    scheduler_name="slurm",
+    trace_quantum_s=15,
+    timestep_s=60,
+    power_loss=PowerLossConfig(),
+    cooling=CoolingConfig(
+        supply_temperature_c=21.0,
+        facility_supply_temperature_c=18.0,
+        ambient_wet_bulb_c=12.0,
+        cdu_count=25,
+        secondary_flow_kg_per_s_per_cdu=45.0,
+        facility_flow_kg_per_s=1500.0,
+        tower_approach_c=4.0,
+        pump_power_fraction=0.015,
+        fan_power_fraction=0.02,
+    ),
+    default_policy="replay",
+    metadata={
+        "dataset": "proprietary (Frontier excerpt, STREAM telemetry)",
+        "job_count": 1238,
+        "characteristics": "job traces (15s), CPU/GPU power & temp",
+        "priority_scheme": "modified FIFO boosted by node count, penalised on overuse",
+    },
+)
+
+MARCONI100 = SystemConfig(
+    name="marconi100",
+    description="IBM POWER9 + V100 (CINECA Marconi100)",
+    partitions=(PartitionConfig("batch", 980, MARCONI100_NODE),),
+    scheduler_name="slurm",
+    trace_quantum_s=20,
+    timestep_s=60,
+    power_loss=PowerLossConfig(),
+    cooling=None,
+    default_policy="replay",
+    metadata={
+        "dataset": "PM100",
+        "job_count": 231_238,
+        "characteristics": "job traces (20s), CPU/node power",
+    },
+)
+
+FUGAKU = SystemConfig(
+    name="fugaku",
+    description="Fujitsu A64FX (RIKEN Fugaku)",
+    partitions=(PartitionConfig("batch", 158_976, FUGAKU_NODE),),
+    scheduler_name="fujitsu_tcs",
+    trace_quantum_s=3600,
+    timestep_s=300,
+    power_loss=PowerLossConfig(),
+    cooling=None,
+    default_policy="replay",
+    metadata={
+        "dataset": "F-Data",
+        "job_count": 116_977,
+        "characteristics": "job summary, node-level power only",
+    },
+)
+
+LASSEN = SystemConfig(
+    name="lassen",
+    description="IBM POWER9 + V100 (LLNL Lassen)",
+    partitions=(PartitionConfig("batch", 792, LASSEN_NODE),),
+    scheduler_name="lsf",
+    trace_quantum_s=3600,
+    timestep_s=60,
+    power_loss=PowerLossConfig(),
+    cooling=None,
+    default_policy="replay",
+    metadata={
+        "dataset": "LAST",
+        "job_count": 1_467_746,
+        "characteristics": "job summary, includes network tx/rx",
+    },
+)
+
+ADASTRA = SystemConfig(
+    name="adastramei250",
+    description="HPE/Cray EX, AMD MI250X (CINES Adastra, MI250 partition)",
+    partitions=(PartitionConfig("mi250", 356, ADASTRA_GPU_NODE),),
+    scheduler_name="slurm",
+    trace_quantum_s=3600,
+    timestep_s=60,
+    power_loss=PowerLossConfig(),
+    cooling=None,
+    default_policy="replay",
+    metadata={
+        "dataset": "Cirou (Adastra jobs MI250 15 days)",
+        "job_count": 30_570,
+        "characteristics": "job summary, job avg component power",
+    },
+)
+
+#: Small system for unit tests and quick examples.
+TINY = SystemConfig(
+    name="tiny",
+    description="Small synthetic test system",
+    partitions=(PartitionConfig("batch", 32, TINY_NODE),),
+    scheduler_name="slurm",
+    trace_quantum_s=15,
+    timestep_s=15,
+    power_loss=PowerLossConfig(),
+    cooling=CoolingConfig(
+        cdu_count=2,
+        secondary_flow_kg_per_s_per_cdu=10.0,
+        facility_flow_kg_per_s=40.0,
+        cdu_thermal_mass_j_per_k=2.0e6,
+        facility_thermal_mass_j_per_k=2.0e7,
+    ),
+    default_policy="replay",
+    metadata={"dataset": "synthetic"},
+)
+
+
+for _config in (FRONTIER, MARCONI100, FUGAKU, LASSEN, ADASTRA, TINY):
+    register_system_config(_config)
+
+# Common aliases used by the paper's CLI examples.
+register_system_config(ADASTRA.with_overrides(name="adastra"), overwrite=False)
+register_system_config(ADASTRA.with_overrides(name="adastrami250"), overwrite=False)

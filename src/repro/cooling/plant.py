@@ -1,0 +1,128 @@
+"""Central energy plant: CDUs + cooling towers + PUE.
+
+The plant composes the per-CDU secondary loops with the facility loop and
+the cooling towers and produces the facility-level quantities the DCDT
+reports: cooling power (pumps, tower fans, and — for the air-cooled fraction
+of the load — CRAC compressor power) and power usage effectiveness
+
+    PUE = (IT power + losses + cooling power) / IT power.
+
+The paper's Frontier twin reports an average PUE around 1.06; the defaults
+here land in that neighbourhood at high load and rise at low load, which is
+the qualitative behaviour the what-if studies rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CoolingConfig
+from .cdu import CDU
+from .cooling_tower import CoolingTower
+
+
+@dataclass(frozen=True)
+class CoolingPlantState:
+    """Plant-level cooling state at one simulation time."""
+
+    time_s: float
+    it_power_kw: float
+    loss_power_kw: float
+    cooling_power_kw: float
+    pue: float
+    cdu_return_temperature_c: float
+    tower_return_temperature_c: float
+    tower_supply_temperature_c: float
+
+    @property
+    def total_facility_power_kw(self) -> float:
+        """Total power drawn by the data centre (IT + losses + cooling), kW."""
+        return self.it_power_kw + self.loss_power_kw + self.cooling_power_kw
+
+
+class CoolingPlant:
+    """Transient lumped cooling model for the whole data centre."""
+
+    def __init__(self, config: CoolingConfig) -> None:
+        self.config = config
+        self.cdus = [CDU(config) for _ in range(config.cdu_count)]
+        self.tower = CoolingTower(config)
+        self._last_state: CoolingPlantState | None = None
+
+    @property
+    def last_state(self) -> CoolingPlantState | None:
+        """The most recent plant state, if :meth:`step` has been called."""
+        return self._last_state
+
+    def step(
+        self,
+        now: float,
+        it_power_kw: float,
+        loss_power_kw: float,
+        dt_s: float,
+    ) -> CoolingPlantState:
+        """Advance the cooling plant by one simulation step.
+
+        Parameters
+        ----------
+        now:
+            Simulation time at the *end* of the step (seconds).
+        it_power_kw:
+            IT (compute) power during the step, kW. All of it is assumed to
+            become heat.
+        loss_power_kw:
+            Electrical conversion losses during the step, kW; these dissipate
+            in the machine room as well and must be removed by the plant.
+        dt_s:
+            Step length in seconds.
+        """
+        it_power_kw = max(0.0, it_power_kw)
+        loss_power_kw = max(0.0, loss_power_kw)
+        total_heat_kw = it_power_kw + loss_power_kw
+
+        liquid_heat_kw = total_heat_kw * (1.0 - self.config.air_cooled_fraction)
+        air_heat_kw = total_heat_kw * self.config.air_cooled_fraction
+
+        # Secondary loops: split the liquid-cooled heat evenly across CDUs.
+        per_cdu_heat = liquid_heat_kw / len(self.cdus)
+        cdu_returns = []
+        heat_to_facility_kw = 0.0
+        for cdu in self.cdus:
+            state = cdu.step(per_cdu_heat, dt_s)
+            cdu_returns.append(state.return_temperature_c)
+            heat_to_facility_kw += cdu.heat_to_facility_kw()
+
+        # Air-cooled heat is removed by CRACs, whose condenser heat also ends
+        # up on the facility loop.
+        crac_power_kw = air_heat_kw / self.config.crac_cop if air_heat_kw > 0 else 0.0
+        facility_heat_kw = heat_to_facility_kw + air_heat_kw + crac_power_kw
+
+        tower_state = self.tower.step(facility_heat_kw, dt_s)
+
+        pump_power_kw = self.config.pump_power_fraction * total_heat_kw
+        cooling_power_kw = pump_power_kw + tower_state.fan_power_kw + crac_power_kw
+
+        if it_power_kw > 0:
+            pue = (it_power_kw + loss_power_kw + cooling_power_kw) / it_power_kw
+        else:
+            pue = 1.0
+
+        state = CoolingPlantState(
+            time_s=now,
+            it_power_kw=it_power_kw,
+            loss_power_kw=loss_power_kw,
+            cooling_power_kw=cooling_power_kw,
+            pue=pue,
+            cdu_return_temperature_c=sum(cdu_returns) / len(cdu_returns),
+            tower_return_temperature_c=tower_state.return_temperature_c,
+            tower_supply_temperature_c=tower_state.supply_temperature_c,
+        )
+        self._last_state = state
+        return state
+
+    def reset(self) -> None:
+        """Reset all loops to their nominal temperatures."""
+        for cdu in self.cdus:
+            cdu.reset()
+        self.tower.reset()
+        self._last_state = None

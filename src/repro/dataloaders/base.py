@@ -1,0 +1,171 @@
+"""Dataloader base class, dataset window handling and the plugin registry.
+
+The base class implements the window logic of Fig. 3 of the paper: given the
+overall telemetry span and the user-selected simulation window (fast-forward
+offset + duration), jobs are classified into
+
+* dismissed — ended before the window starts or submitted after it ends,
+* prepopulated — already running at window start (placed at initialization),
+* regular — submitted inside the window,
+
+and jobs whose telemetry does not fully cover the window are flagged
+(``STARTED_BEFORE_CAPTURE`` / ``ENDED_AFTER_CAPTURE``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..config import SystemConfig, get_system_config
+from ..exceptions import DataLoaderError
+from ..telemetry.job import Job, TraceFlag
+
+
+@dataclass(frozen=True)
+class DatasetWindow:
+    """Telemetry capture window of a dataset (seconds, relative frame)."""
+
+    telemetry_start: float
+    telemetry_end: float
+
+    def __post_init__(self) -> None:
+        if self.telemetry_end <= self.telemetry_start:
+            raise DataLoaderError("telemetry window must have positive length")
+
+    @property
+    def duration(self) -> float:
+        """Length of the capture window in seconds."""
+        return self.telemetry_end - self.telemetry_start
+
+
+class DataLoader(abc.ABC):
+    """Base class for all dataloaders.
+
+    Subclasses implement :meth:`load_all` (return every job of the dataset
+    plus the dataset's telemetry window); the base class provides
+    :meth:`load`, which applies fast-forward/duration windowing, dismisses
+    out-of-window jobs, flags capture-window edge cases and marks
+    prepopulation candidates.
+    """
+
+    #: Registry name (matches the paper's ``--system`` CLI values).
+    name: str = ""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.seed = seed
+        self._system: SystemConfig | None = None
+
+    # -- interface -------------------------------------------------------------
+
+    @property
+    def system(self) -> SystemConfig:
+        """The system configuration this dataloader targets."""
+        if self._system is None:
+            self._system = self._load_system()
+        return self._system
+
+    def _load_system(self) -> SystemConfig:
+        """Resolve the system configuration (default: registry lookup by name)."""
+        return get_system_config(self.name)
+
+    @abc.abstractmethod
+    def load_all(self) -> tuple[list[Job], DatasetWindow]:
+        """Load (or synthesise) every job of the dataset and its window."""
+
+    # -- windowing ---------------------------------------------------------------
+
+    def load(
+        self,
+        *,
+        fast_forward: float = 0.0,
+        duration: float | None = None,
+    ) -> tuple[list[Job], DatasetWindow]:
+        """Load jobs restricted to the selected simulation window.
+
+        Parameters
+        ----------
+        fast_forward:
+            Seconds to skip from the start of the telemetry window (the
+            paper's ``-ff`` option).
+        duration:
+            Length of the simulation window in seconds (``-t``); defaults to
+            the remainder of the telemetry window.
+
+        Returns
+        -------
+        (jobs, window):
+            Jobs relevant to the window (dismissed jobs are excluded) with
+            their trace flags set, and the *simulation* window expressed in
+            the dataset's time frame.
+        """
+        jobs, telemetry = self.load_all()
+        sim_start = telemetry.telemetry_start + fast_forward
+        if duration is None:
+            sim_end = telemetry.telemetry_end
+        else:
+            sim_end = sim_start + float(duration)
+        if sim_start >= telemetry.telemetry_end:
+            raise DataLoaderError(
+                f"fast_forward={fast_forward} skips past the end of the "
+                f"telemetry window ({telemetry.duration:.0f}s long)"
+            )
+        window = DatasetWindow(sim_start, sim_end)
+        selected = self.select_window(jobs, telemetry, window)
+        return selected, window
+
+    @staticmethod
+    def select_window(
+        jobs: Sequence[Job],
+        telemetry: DatasetWindow,
+        window: DatasetWindow,
+    ) -> list[Job]:
+        """Classify jobs against a simulation window (Fig. 3 semantics)."""
+        selected: list[Job] = []
+        for job in jobs:
+            # Dismiss: ended before the window, or submitted after it.
+            if job.end_time <= window.telemetry_start:
+                continue
+            if job.submit_time >= window.telemetry_end:
+                continue
+            flags = job.trace_flags
+            if job.start_time < telemetry.telemetry_start:
+                flags |= TraceFlag.STARTED_BEFORE_CAPTURE
+            if job.end_time > telemetry.telemetry_end:
+                flags |= TraceFlag.ENDED_AFTER_CAPTURE
+            if job.start_time < window.telemetry_start < job.end_time:
+                flags |= TraceFlag.PREPOPULATED
+            job.trace_flags = flags
+            selected.append(job)
+        selected.sort(key=lambda j: (j.submit_time, j.job_id))
+        return selected
+
+
+# ---------------------------------------------------------------------------
+# Plugin registry
+# ---------------------------------------------------------------------------
+
+_LOADERS: dict[str, Callable[..., DataLoader]] = {}
+
+
+def register_dataloader(name: str, factory: Callable[..., DataLoader], *, overwrite: bool = False) -> None:
+    """Register a dataloader factory under ``name`` (the ``--system`` value)."""
+    key = name.lower()
+    if key in _LOADERS and not overwrite:
+        raise DataLoaderError(f"dataloader {name!r} already registered")
+    _LOADERS[key] = factory
+
+
+def get_dataloader(name: str, **kwargs: object) -> DataLoader:
+    """Instantiate the dataloader registered under ``name``."""
+    key = name.lower()
+    if key not in _LOADERS:
+        known = ", ".join(sorted(_LOADERS))
+        raise DataLoaderError(f"unknown dataloader {name!r}; known: {known}")
+    return _LOADERS[key](**kwargs)
+
+
+def available_dataloaders() -> tuple[str, ...]:
+    """Names of all registered dataloaders."""
+    return tuple(sorted(_LOADERS))

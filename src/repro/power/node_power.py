@@ -1,0 +1,74 @@
+"""Per-node power from component utilization.
+
+The node power model is a linear component model: each CPU socket and GPU
+contributes its idle power plus a utilization-proportional dynamic share, the
+memory subsystem contributes a bandwidth-proportional dynamic share, and the
+node baseboard (fans, NIC, VRM overhead) contributes a constant. This is the
+level of fidelity RAPS uses for job-trace replay; datasets that carry
+measured node power bypass the model entirely (the recorded trace wins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import NodePowerConfig, SystemConfig
+
+
+class NodePowerModel:
+    """Compute node power in watts from utilization fractions."""
+
+    def __init__(self, config: NodePowerConfig) -> None:
+        self.config = config
+
+    def power(
+        self,
+        cpu_util: float | np.ndarray,
+        gpu_util: float | np.ndarray = 0.0,
+        mem_util: float | np.ndarray = 0.0,
+    ) -> float | np.ndarray:
+        """Node power (watts) for the given utilization fractions.
+
+        Inputs outside [0, 1] are clipped; arrays broadcast element-wise so a
+        whole trace (or a whole system's worth of nodes) can be evaluated in
+        one vectorised call.
+        """
+        cfg = self.config
+        cpu = np.clip(cpu_util, 0.0, 1.0)
+        gpu = np.clip(gpu_util, 0.0, 1.0)
+        mem = np.clip(mem_util, 0.0, 1.0)
+        power = (
+            cfg.idle_watts
+            + cfg.cpus_per_node
+            * (cfg.cpu_idle_watts + cpu * (cfg.cpu_max_watts - cfg.cpu_idle_watts))
+            + cfg.gpus_per_node
+            * (cfg.gpu_idle_watts + gpu * (cfg.gpu_max_watts - cfg.gpu_idle_watts))
+            + mem * cfg.mem_dynamic_watts
+        )
+        if np.isscalar(cpu_util) and np.isscalar(gpu_util) and np.isscalar(mem_util):
+            return float(power)
+        return power
+
+    @property
+    def idle_power(self) -> float:
+        """Power of an idle node (watts)."""
+        return self.config.min_watts
+
+    @property
+    def max_power(self) -> float:
+        """Power of a fully loaded node (watts)."""
+        return self.config.max_watts
+
+
+def system_idle_power_kw(system: SystemConfig, *, include_down: bool = False) -> float:
+    """Idle IT power of the whole system in kilowatts.
+
+    Down nodes are assumed powered off unless ``include_down`` is set.
+    """
+    total_w = 0.0
+    for partition in system.partitions:
+        nodes = partition.node_count
+        if not include_down:
+            nodes = int(round(nodes * (1.0 - system.down_node_fraction)))
+        total_w += nodes * partition.node_power.min_watts
+    return total_w / 1000.0

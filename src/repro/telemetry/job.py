@@ -1,0 +1,302 @@
+"""The batch-job data model.
+
+Each :class:`Job` carries the scheduling-relevant fields required by the
+dataloaders (Sec. 3.2.2 of the paper): submit time, recorded start and end
+times, wall-time limit and the number of requested nodes (or the exact node
+set from the telemetry, for replay). On top of those it carries telemetry
+profiles (CPU/GPU/memory utilization or power), user/account information for
+the incentive studies, priority, and the mutable simulation state managed by
+the engine (assigned nodes, simulated start/end, state machine).
+
+Times are seconds relative to the telemetry window start as established by
+the dataloader; the simulation engine works entirely in this relative frame.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from ..exceptions import DataLoaderError, SimulationError
+from .trace import Profile, constant_profile
+
+_job_id_counter = itertools.count(1)
+
+
+def _next_job_id() -> int:
+    return next(_job_id_counter)
+
+
+class JobState(enum.Enum):
+    """Life-cycle of a job inside the simulation."""
+
+    #: Known to the dataloader but not yet submitted (simulation time < submit).
+    PENDING = "pending"
+    #: Submitted and waiting in the scheduler queue.
+    QUEUED = "queued"
+    #: Placed on nodes and running.
+    RUNNING = "running"
+    #: Finished normally (ran to its recorded/estimated duration).
+    COMPLETED = "completed"
+    #: Removed without running (outside the simulation window, cancelled, ...).
+    DISMISSED = "dismissed"
+
+
+class TraceFlag(enum.Flag):
+    """Edge-case flags for jobs relative to the telemetry capture window.
+
+    Figure 3 of the paper: jobs that started before the capture window or
+    ended after it have incomplete telemetry; when such jobs are rescheduled
+    the simulator has no ground truth for part of their lifetime, so they are
+    flagged for downstream consumers.
+    """
+
+    NONE = 0
+    #: Job started before telemetry capture began (Fig. 3, Job 1).
+    STARTED_BEFORE_CAPTURE = enum.auto()
+    #: Job ended after telemetry capture stopped (Fig. 3, Jobs 6-8).
+    ENDED_AFTER_CAPTURE = enum.auto()
+    #: Job was running when the simulation window started (prepopulated).
+    PREPOPULATED = enum.auto()
+    #: Telemetry shorter than the job's simulated runtime (gap-filled).
+    TELEMETRY_GAP_FILLED = enum.auto()
+
+
+@dataclass
+class Job:
+    """A single batch job.
+
+    Immutable *workload* fields describe what the dataset recorded; mutable
+    *simulation* fields (prefixed ``sim_``) are written by the resource
+    manager and engine while the job is replayed or rescheduled.
+    """
+
+    # -- workload description (from the dataloader) --------------------------
+    nodes_required: int
+    submit_time: float
+    start_time: float
+    end_time: float
+    wall_time_limit: float | None = None
+    job_id: int = field(default_factory=_next_job_id)
+    name: str = ""
+    user: str = "unknown"
+    account: str = "unknown"
+    partition: str = "batch"
+    priority: float = 0.0
+    #: Exact node ids recorded in the telemetry (used in replay mode).
+    recorded_nodes: tuple[int, ...] = ()
+    #: Utilization profiles in [0, 1] relative to job start.
+    cpu_util: Profile = field(default_factory=lambda: constant_profile(0.0))
+    gpu_util: Profile = field(default_factory=lambda: constant_profile(0.0))
+    mem_util: Profile = field(default_factory=lambda: constant_profile(0.0))
+    #: Optional recorded per-node power profile in watts (overrides the
+    #: utilization-based power model when present).
+    node_power: Profile | None = None
+    #: Dataset-specific extras (performance class, network counters, ...).
+    metadata: dict[str, object] = field(default_factory=dict)
+    trace_flags: TraceFlag = TraceFlag.NONE
+
+    # -- simulation state (owned by the engine) -------------------------------
+    state: JobState = JobState.PENDING
+    assigned_nodes: tuple[int, ...] = ()
+    sim_submit_time: float | None = None
+    sim_start_time: float | None = None
+    sim_end_time: float | None = None
+    #: Scheduler-assigned score (ML policy) or effective priority.
+    score: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nodes_required <= 0:
+            raise DataLoaderError(
+                f"job {self.job_id}: nodes_required must be positive, "
+                f"got {self.nodes_required}"
+            )
+        if self.end_time < self.start_time:
+            raise DataLoaderError(
+                f"job {self.job_id}: end_time {self.end_time} precedes "
+                f"start_time {self.start_time}"
+            )
+        if self.submit_time > self.start_time:
+            # Some datasets have clock skew; clamp rather than reject, but a
+            # submit after the recorded end is irrecoverably inconsistent.
+            if self.submit_time > self.end_time:
+                raise DataLoaderError(
+                    f"job {self.job_id}: submit_time after end_time"
+                )
+            self.submit_time = self.start_time
+        if self.recorded_nodes and len(self.recorded_nodes) != self.nodes_required:
+            raise DataLoaderError(
+                f"job {self.job_id}: recorded_nodes has "
+                f"{len(self.recorded_nodes)} entries but nodes_required is "
+                f"{self.nodes_required}"
+            )
+        if self.wall_time_limit is not None and self.wall_time_limit <= 0:
+            raise DataLoaderError(
+                f"job {self.job_id}: wall_time_limit must be positive"
+            )
+
+    # -- derived workload properties ------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Recorded runtime in seconds (end - start from the telemetry)."""
+        return self.end_time - self.start_time
+
+    @property
+    def requested_runtime(self) -> float:
+        """Runtime the scheduler should assume when planning.
+
+        The wall-time limit if available (what a real scheduler knows),
+        otherwise the recorded duration (perfect estimate).
+        """
+        if self.wall_time_limit is not None:
+            return self.wall_time_limit
+        return self.duration
+
+    @property
+    def node_seconds(self) -> float:
+        """Recorded node-seconds (nodes x runtime)."""
+        return self.nodes_required * self.duration
+
+    # -- derived simulation properties -----------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        """True while the job occupies resources."""
+        return self.state is JobState.RUNNING
+
+    @property
+    def is_finished(self) -> bool:
+        """True once the job has left the system (completed or dismissed)."""
+        return self.state in (JobState.COMPLETED, JobState.DISMISSED)
+
+    @property
+    def sim_duration(self) -> float | None:
+        """Simulated runtime, if the job has both started and ended."""
+        if self.sim_start_time is None or self.sim_end_time is None:
+            return None
+        return self.sim_end_time - self.sim_start_time
+
+    @property
+    def wait_time(self) -> float | None:
+        """Simulated queue wait (start - submit), if started."""
+        if self.sim_start_time is None:
+            return None
+        submit = self.sim_submit_time if self.sim_submit_time is not None else self.submit_time
+        return max(0.0, self.sim_start_time - submit)
+
+    @property
+    def turnaround_time(self) -> float | None:
+        """Simulated turnaround (end - submit), if finished."""
+        if self.sim_end_time is None:
+            return None
+        submit = self.sim_submit_time if self.sim_submit_time is not None else self.submit_time
+        return max(0.0, self.sim_end_time - submit)
+
+    # -- state transitions (used by engine / resource manager) -----------------
+
+    def mark_queued(self, now: float) -> None:
+        """Transition PENDING → QUEUED when the job is submitted."""
+        if self.state is not JobState.PENDING:
+            raise SimulationError(
+                f"job {self.job_id}: cannot queue from state {self.state.value}"
+            )
+        self.state = JobState.QUEUED
+        self.sim_submit_time = now if self.sim_submit_time is None else self.sim_submit_time
+
+    def mark_running(self, now: float, nodes: tuple[int, ...]) -> None:
+        """Transition QUEUED/PENDING → RUNNING with an allocation."""
+        if self.state not in (JobState.QUEUED, JobState.PENDING):
+            raise SimulationError(
+                f"job {self.job_id}: cannot start from state {self.state.value}"
+            )
+        if len(nodes) != self.nodes_required:
+            raise SimulationError(
+                f"job {self.job_id}: allocation of {len(nodes)} nodes does not "
+                f"match request of {self.nodes_required}"
+            )
+        self.state = JobState.RUNNING
+        self.assigned_nodes = tuple(nodes)
+        self.sim_start_time = now
+        if self.sim_submit_time is None:
+            self.sim_submit_time = self.submit_time
+
+    def mark_completed(self, now: float) -> None:
+        """Transition RUNNING → COMPLETED, releasing is the RM's job."""
+        if self.state is not JobState.RUNNING:
+            raise SimulationError(
+                f"job {self.job_id}: cannot complete from state {self.state.value}"
+            )
+        self.state = JobState.COMPLETED
+        self.sim_end_time = now
+
+    def mark_dismissed(self) -> None:
+        """Remove the job from consideration without running it."""
+        if self.state is JobState.RUNNING:
+            raise SimulationError(
+                f"job {self.job_id}: cannot dismiss a running job"
+            )
+        self.state = JobState.DISMISSED
+
+    # -- telemetry access -------------------------------------------------------
+
+    def elapsed(self, now: float) -> float:
+        """Seconds since simulated start (0 if not yet started)."""
+        if self.sim_start_time is None:
+            return 0.0
+        return max(0.0, now - self.sim_start_time)
+
+    def utilization_at(self, now: float) -> tuple[float, float, float]:
+        """(cpu, gpu, mem) utilization at simulation time ``now``.
+
+        Profiles are indexed by elapsed time since the *simulated* start, so
+        a rescheduled job replays its recorded behaviour shifted to its new
+        start time (the gap-filling rule covers runs past the recorded end).
+        """
+        t = self.elapsed(now)
+        return (
+            float(self.cpu_util.value_at(t)),
+            float(self.gpu_util.value_at(t)),
+            float(self.mem_util.value_at(t)),
+        )
+
+    def recorded_power_at(self, now: float) -> float | None:
+        """Recorded per-node power (watts) at ``now``, if a trace exists."""
+        if self.node_power is None:
+            return None
+        return float(self.node_power.value_at(self.elapsed(now)))
+
+    def copy_for_simulation(self) -> "Job":
+        """Return a fresh copy with pristine simulation state.
+
+        Dataloaders build one canonical job list; each simulation run works
+        on copies so that replay and reschedule runs never interfere.
+        """
+        return replace(
+            self,
+            state=JobState.PENDING,
+            assigned_nodes=(),
+            sim_submit_time=None,
+            sim_start_time=None,
+            sim_end_time=None,
+            score=0.0,
+            metadata=dict(self.metadata),
+        )
+
+    def static_features(self) -> Mapping[str, float]:
+        """Pre-submission features available to the ML pipeline at submit time."""
+        return {
+            "nodes_required": float(self.nodes_required),
+            "requested_runtime": float(self.requested_runtime),
+            "priority": float(self.priority),
+            "submit_hour": float((self.submit_time % 86400.0) / 3600.0),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Job(id={self.job_id}, nodes={self.nodes_required}, "
+            f"submit={self.submit_time:.0f}, start={self.start_time:.0f}, "
+            f"end={self.end_time:.0f}, state={self.state.value})"
+        )

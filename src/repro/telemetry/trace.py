@@ -1,0 +1,221 @@
+"""Sampled time-series profiles for job telemetry.
+
+Job telemetry in the paper's datasets comes either as regularly sampled
+traces (Frontier: 15 s, Marconi100: 20 s) or as scalar summaries (Fugaku,
+Lassen, Adastra). :class:`Profile` provides one uniform abstraction for both:
+a sequence of (relative-time, value) samples that can be queried at arbitrary
+simulation times. Missing data — e.g. when a rescheduled job runs longer than
+its recorded telemetry — is filled with the *last known value*, exactly as
+described in Sec. 3.2.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import DataLoaderError
+
+
+class Profile:
+    """A sampled telemetry profile relative to job start.
+
+    Parameters
+    ----------
+    times:
+        Sample times in seconds relative to the owning job's start (must be
+        non-negative and strictly increasing).
+    values:
+        Sample values (utilization fraction, watts, ...); same length as
+        ``times``.
+
+    Notes
+    -----
+    Profiles are immutable after construction; the sample arrays are copied
+    and marked read-only so they can be shared between a replayed and a
+    rescheduled copy of the same job without aliasing hazards.
+    """
+
+    __slots__ = ("_times", "_values")
+
+    def __init__(self, times: Iterable[float], values: Iterable[float]) -> None:
+        times_arr = np.asarray(list(times), dtype=float)
+        values_arr = np.asarray(list(values), dtype=float)
+        if times_arr.ndim != 1 or values_arr.ndim != 1:
+            raise DataLoaderError("profile times and values must be 1-D")
+        if times_arr.shape != values_arr.shape:
+            raise DataLoaderError(
+                f"profile length mismatch: {times_arr.shape[0]} times vs "
+                f"{values_arr.shape[0]} values"
+            )
+        if times_arr.size == 0:
+            raise DataLoaderError("profile must contain at least one sample")
+        if np.any(times_arr < 0):
+            raise DataLoaderError("profile times must be non-negative")
+        if np.any(np.diff(times_arr) <= 0):
+            raise DataLoaderError("profile times must be strictly increasing")
+        if np.any(~np.isfinite(values_arr)):
+            raise DataLoaderError("profile values must be finite")
+        self._times = times_arr.copy()
+        self._values = values_arr.copy()
+        self._times.setflags(write=False)
+        self._values.setflags(write=False)
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times (read-only view), seconds relative to job start."""
+        return self._times
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values (read-only view)."""
+        return self._values
+
+    @property
+    def duration(self) -> float:
+        """Time of the last sample (seconds relative to job start)."""
+        return float(self._times[-1])
+
+    def __len__(self) -> int:
+        return int(self._times.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Profile(n={len(self)}, duration={self.duration:.0f}s, "
+            f"mean={self.mean():.3g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Profile):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._times, other._times)
+            and np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._times.tobytes(), self._values.tobytes()))
+
+    # -- sampling ------------------------------------------------------------
+
+    def value_at(self, t: float) -> float:
+        """Sample the profile at relative time ``t`` (seconds).
+
+        Uses previous-sample (zero-order) hold: the value of the most recent
+        sample at or before ``t``. Times before the first sample return the
+        first sample; times after the last sample return the last sample —
+        this is the "missing data → last known value" rule of the paper.
+        """
+        return float(self.values_at(np.asarray([t]))[0])
+
+    def values_at(self, ts: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value_at` for an array of relative times."""
+        ts_arr = np.asarray(ts, dtype=float)
+        idx = np.searchsorted(self._times, ts_arr, side="right") - 1
+        idx = np.clip(idx, 0, len(self) - 1)
+        return self._values[idx]
+
+    def mean(self) -> float:
+        """Time-weighted mean of the profile over its recorded duration.
+
+        For a single-sample profile this is simply that sample. For longer
+        profiles the zero-order-hold interpretation makes the time-weighted
+        mean a weighted sum of the samples by their holding intervals (the
+        last sample gets zero weight and is therefore excluded, unless it is
+        the only one).
+        """
+        if len(self) == 1:
+            return float(self._values[0])
+        dt = np.diff(self._times)
+        return float(np.sum(self._values[:-1] * dt) / np.sum(dt))
+
+    def maximum(self) -> float:
+        """Maximum sample value."""
+        return float(np.max(self._values))
+
+    def minimum(self) -> float:
+        """Minimum sample value."""
+        return float(np.min(self._values))
+
+    def std(self) -> float:
+        """Standard deviation of the sample values (unweighted)."""
+        return float(np.std(self._values))
+
+    def integral(self, duration: float | None = None) -> float:
+        """Integrate the zero-order-hold profile over ``[0, duration]``.
+
+        With ``values`` in watts and times in seconds this yields joules.
+        ``duration`` defaults to the recorded profile duration; longer
+        durations extend the last known value (gap-filling rule).
+        """
+        if duration is None:
+            duration = self.duration
+        if duration < 0:
+            raise DataLoaderError("integration duration must be non-negative")
+        if duration == 0:
+            return 0.0
+        # Sample boundaries clipped to [0, duration] plus the end point.
+        edges = np.concatenate([self._times[self._times < duration], [duration]])
+        if edges.size <= 1:
+            # Window ends before the first sample: hold the first value.
+            return float(self._values[0]) * duration
+        # Interval before the first sample uses the first value (head), every
+        # following interval holds the value of the sample that starts it.
+        head = float(self._values[0]) * float(edges[0])
+        values = self.values_at(edges[:-1])
+        return head + float(np.sum(values * np.diff(edges)))
+
+    # -- transformations -----------------------------------------------------
+
+    def scaled(self, factor: float) -> "Profile":
+        """Return a copy with all values multiplied by ``factor``."""
+        return Profile(self._times, self._values * factor)
+
+    def clipped(self, start: float, end: float) -> "Profile":
+        """Return the profile restricted to relative times ``[start, end]``.
+
+        The returned profile is re-based so its first sample is at 0. A
+        sample is synthesised at ``start`` using the zero-order hold value if
+        no sample falls exactly on it, so the clipped profile never loses the
+        value in effect at the window start.
+        """
+        if end <= start:
+            raise DataLoaderError("clip window must have positive length")
+        mask = (self._times > start) & (self._times <= end)
+        times = np.concatenate([[start], self._times[mask]])
+        values = np.concatenate([[self.value_at(start)], self._values[mask]])
+        return Profile(times - start, values)
+
+    def resampled(self, interval: float, duration: float | None = None) -> "Profile":
+        """Return the profile resampled on a regular grid of ``interval`` s."""
+        if interval <= 0:
+            raise DataLoaderError("resample interval must be positive")
+        if duration is None:
+            duration = self.duration
+        n = max(1, int(np.floor(duration / interval)) + 1)
+        grid = np.arange(n, dtype=float) * interval
+        return Profile(grid, self.values_at(grid))
+
+    def summary_statistics(self) -> dict[str, float]:
+        """Summary statistics used by the ML pipeline (Sec. 4.4.3)."""
+        return {
+            "mean": self.mean(),
+            "max": self.maximum(),
+            "min": self.minimum(),
+            "std": self.std(),
+        }
+
+
+def constant_profile(value: float, duration: float = 0.0) -> Profile:
+    """Build a scalar (single- or two-sample) profile holding ``value``.
+
+    Datasets that only provide per-job averages (Fugaku, Lassen, Adastra) are
+    represented as constant profiles; ``duration`` > 0 adds a trailing sample
+    so the recorded duration is explicit.
+    """
+    if duration > 0:
+        return Profile([0.0, float(duration)], [value, value])
+    return Profile([0.0], [value])

@@ -1,0 +1,77 @@
+"""Shared pytest fixtures for the S-RAPS reproduction test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import get_system_config
+from repro.telemetry import Job, Profile, constant_profile
+from repro.workloads import SyntheticWorkloadGenerator, WorkloadSpec
+from repro.workloads.distributions import JobSizeDistribution, RuntimeDistribution, WaveArrivals
+
+
+@pytest.fixture
+def tiny_system():
+    """The 32-node test system."""
+    return get_system_config("tiny")
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(42)
+
+
+def make_job(
+    *,
+    nodes: int = 1,
+    submit: float = 0.0,
+    start: float = 0.0,
+    duration: float = 600.0,
+    cpu: float = 0.5,
+    gpu: float = 0.0,
+    mem: float = 0.2,
+    user: str = "user001",
+    account: str = "acct001",
+    priority: float = 0.0,
+    wall_limit: float | None = None,
+    recorded_nodes: tuple[int, ...] = (),
+    node_power: Profile | None = None,
+) -> Job:
+    """Construct a simple job for tests."""
+    return Job(
+        nodes_required=nodes,
+        submit_time=submit,
+        start_time=start,
+        end_time=start + duration,
+        wall_time_limit=wall_limit,
+        user=user,
+        account=account,
+        priority=priority,
+        recorded_nodes=recorded_nodes,
+        cpu_util=constant_profile(cpu, duration),
+        gpu_util=constant_profile(gpu, duration),
+        mem_util=constant_profile(mem, duration),
+        node_power=node_power,
+    )
+
+
+@pytest.fixture
+def job_factory():
+    """Factory fixture building jobs with sensible defaults."""
+    return make_job
+
+
+@pytest.fixture
+def tiny_workload(tiny_system):
+    """A small deterministic synthetic workload for the tiny system."""
+    spec = WorkloadSpec(
+        sizes=JobSizeDistribution(min_nodes=1, max_nodes=16, full_system_fraction=0.02),
+        runtimes=RuntimeDistribution(median_s=1800.0, sigma=0.8, min_s=120.0, max_s=14400.0),
+        arrivals=WaveArrivals(rate_per_hour=12.0, amplitude=0.4),
+        trace_interval_s=60.0,
+        generate_power_trace=True,
+    )
+    generator = SyntheticWorkloadGenerator(tiny_system, spec, seed=7)
+    return generator.generate(6 * 3600.0)

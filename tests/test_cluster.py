@@ -1,0 +1,236 @@
+"""Tests for the node model and resource manager."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Node, NodeState, ResourceManager
+from repro.config import get_system_config
+from repro.exceptions import AllocationError
+
+from .conftest import make_job
+
+
+class TestNode:
+    def test_initial_state(self):
+        node = Node(node_id=3)
+        assert node.is_available
+        assert node.job_id is None
+
+    def test_allocate_release_cycle(self):
+        node = Node(node_id=0)
+        node.allocate(job_id=7, now=100.0)
+        assert node.state is NodeState.ALLOCATED
+        assert node.job_id == 7
+        assert not node.is_available
+        node.release(now=400.0)
+        assert node.is_available
+        assert node.busy_seconds == pytest.approx(300.0)
+        assert node.allocation_count == 1
+
+    def test_double_allocate_rejected(self):
+        node = Node(node_id=0)
+        node.allocate(1, 0.0)
+        with pytest.raises(AllocationError):
+            node.allocate(2, 1.0)
+
+    def test_release_idle_rejected(self):
+        with pytest.raises(AllocationError):
+            Node(node_id=0).release(0.0)
+
+    def test_down_node_cannot_allocate(self):
+        node = Node(node_id=0)
+        node.mark_down()
+        with pytest.raises(AllocationError):
+            node.allocate(1, 0.0)
+        node.mark_up()
+        node.allocate(1, 0.0)
+
+    def test_cannot_mark_allocated_node_down(self):
+        node = Node(node_id=0)
+        node.allocate(1, 0.0)
+        with pytest.raises(AllocationError):
+            node.mark_down()
+
+
+class TestResourceManager:
+    def test_inventory(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        assert rm.total_nodes == 32
+        assert rm.available_nodes == 32
+        assert rm.allocated_nodes == 0
+        assert rm.utilization == 0.0
+
+    def test_allocate_auto_placement(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = make_job(nodes=4)
+        job.mark_queued(0.0)
+        nodes = rm.allocate(job, 0.0)
+        assert len(nodes) == 4
+        assert rm.allocated_nodes == 4
+        assert rm.utilization == pytest.approx(4 / 32)
+        assert job.assigned_nodes == nodes
+
+    def test_allocate_explicit_placement(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = make_job(nodes=2)
+        job.mark_queued(0.0)
+        nodes = rm.allocate(job, 0.0, node_ids=[5, 9])
+        assert nodes == (5, 9)
+
+    def test_exact_placement_replay(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = make_job(nodes=3, recorded_nodes=(1, 2, 3))
+        job.mark_queued(0.0)
+        assert rm.allocate(job, 0.0, exact_placement=True) == (1, 2, 3)
+
+    def test_exact_placement_requires_recorded_nodes(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = make_job(nodes=2)
+        job.mark_queued(0.0)
+        with pytest.raises(AllocationError):
+            rm.allocate(job, 0.0, exact_placement=True)
+
+    def test_exact_placement_conflict(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        first = make_job(nodes=1, recorded_nodes=(4,))
+        first.mark_queued(0.0)
+        rm.allocate(first, 0.0, exact_placement=True)
+        second = make_job(nodes=1, recorded_nodes=(4,))
+        second.mark_queued(0.0)
+        with pytest.raises(AllocationError):
+            rm.allocate(second, 0.0, exact_placement=True)
+
+    def test_insufficient_nodes(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = make_job(nodes=33)
+        job.mark_queued(0.0)
+        with pytest.raises(AllocationError):
+            rm.allocate(job, 0.0)
+
+    def test_duplicate_node_ids_rejected(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = make_job(nodes=2)
+        job.mark_queued(0.0)
+        with pytest.raises(AllocationError):
+            rm.allocate(job, 0.0, node_ids=[3, 3])
+
+    def test_wrong_placement_size_rejected(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = make_job(nodes=2)
+        job.mark_queued(0.0)
+        with pytest.raises(AllocationError):
+            rm.allocate(job, 0.0, node_ids=[1, 2, 3])
+
+    def test_double_allocation_of_job_rejected(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = make_job(nodes=1)
+        job.mark_queued(0.0)
+        rm.allocate(job, 0.0)
+        with pytest.raises(AllocationError):
+            rm.allocate(job, 1.0)
+
+    def test_release(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = make_job(nodes=4, duration=600)
+        job.mark_queued(0.0)
+        rm.allocate(job, 0.0)
+        rm.release(job, 600.0)
+        assert rm.allocated_nodes == 0
+        assert rm.available_nodes == 32
+        assert job.is_finished
+
+    def test_release_unknown_job_rejected(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        with pytest.raises(AllocationError):
+            rm.release(make_job(), 0.0)
+
+    def test_can_allocate(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        assert rm.can_allocate(make_job(nodes=32))
+        assert not rm.can_allocate(make_job(nodes=33))
+
+    def test_complete_finished_jobs(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        short = make_job(nodes=2, duration=100)
+        long = make_job(nodes=3, duration=1000)
+        for job in (short, long):
+            job.mark_queued(0.0)
+            rm.allocate(job, 0.0)
+        finished = rm.complete_finished_jobs(now=100.0)
+        assert finished == [short]
+        assert rm.allocated_nodes == 3
+        assert short.sim_end_time == pytest.approx(100.0)
+        assert rm.complete_finished_jobs(now=1000.0) == [long]
+        assert rm.allocated_nodes == 0
+
+    def test_same_timestep_end_and_start(self, tiny_system):
+        """A node freed at time t can be reallocated at time t (paper Sec. 3.2.3)."""
+        rm = ResourceManager(tiny_system)
+        first = make_job(nodes=32, duration=100)
+        first.mark_queued(0.0)
+        rm.allocate(first, 0.0)
+        assert rm.available_nodes == 0
+        rm.complete_finished_jobs(now=100.0)
+        second = make_job(nodes=32, submit=50, start=100, duration=100)
+        second.mark_queued(50.0)
+        nodes = rm.allocate(second, 100.0)
+        assert len(nodes) == 32
+
+    def test_down_nodes_excluded(self, tiny_system):
+        system = tiny_system.with_overrides(down_node_fraction=0.25)
+        rm = ResourceManager(system, seed=1)
+        assert rm.down_nodes == 8
+        assert rm.available_nodes == 24
+        assert not rm.can_allocate(make_job(nodes=25))
+        assert rm.can_allocate(make_job(nodes=24))
+
+    def test_utilization_ignores_down_nodes(self, tiny_system):
+        system = tiny_system.with_overrides(down_node_fraction=0.5)
+        rm = ResourceManager(system, seed=1)
+        job = make_job(nodes=8)
+        job.mark_queued(0.0)
+        rm.allocate(job, 0.0)
+        assert rm.utilization == pytest.approx(8 / 16)
+
+    def test_partition_restricted_allocation(self):
+        system = get_system_config("tiny")
+        rm = ResourceManager(system)
+        job = make_job(nodes=2)
+        job.partition = "batch"
+        job.mark_queued(0.0)
+        nodes = rm.allocate(job, 0.0)
+        assert all(n in system.partition_node_range("batch") for n in nodes)
+
+    def test_unknown_partition_falls_back_to_any(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = make_job(nodes=2)
+        job.partition = "nonexistent"
+        job.mark_queued(0.0)
+        assert len(rm.allocate(job, 0.0)) == 2
+
+    def test_snapshot_keys(self, tiny_system):
+        snap = ResourceManager(tiny_system).snapshot()
+        assert snap["total_nodes"] == 32.0
+        assert set(snap) >= {"allocated_nodes", "available_nodes", "utilization"}
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_allocation_conservation_property(self, sizes):
+        """Allocated + available + down always equals total."""
+        system = get_system_config("tiny")
+        rm = ResourceManager(system)
+        placed = []
+        for size in sizes:
+            job = make_job(nodes=size)
+            job.mark_queued(0.0)
+            if rm.can_allocate(job):
+                rm.allocate(job, 0.0)
+                placed.append(job)
+            assert rm.allocated_nodes + rm.available_nodes + rm.down_nodes == rm.total_nodes
+        for job in placed:
+            rm.release(job, 10.0)
+        assert rm.allocated_nodes == 0
+        assert rm.available_nodes + rm.down_nodes == rm.total_nodes

@@ -1,0 +1,175 @@
+"""Tests for the Job data model and its state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DataLoaderError, SimulationError
+from repro.telemetry import Job, JobState, TraceFlag, constant_profile
+
+from .conftest import make_job
+
+
+class TestJobConstruction:
+    def test_defaults(self):
+        job = make_job()
+        assert job.state is JobState.PENDING
+        assert job.duration == 600.0
+        assert job.nodes_required == 1
+
+    def test_unique_ids(self):
+        assert make_job().job_id != make_job().job_id
+
+    def test_rejects_non_positive_nodes(self):
+        with pytest.raises(DataLoaderError):
+            make_job(nodes=0)
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(DataLoaderError):
+            Job(nodes_required=1, submit_time=0, start_time=100, end_time=50)
+
+    def test_clamps_submit_after_start(self):
+        job = Job(nodes_required=1, submit_time=150, start_time=100, end_time=500)
+        assert job.submit_time == 100
+
+    def test_rejects_submit_after_end(self):
+        with pytest.raises(DataLoaderError):
+            Job(nodes_required=1, submit_time=600, start_time=100, end_time=500)
+
+    def test_rejects_recorded_nodes_mismatch(self):
+        with pytest.raises(DataLoaderError):
+            make_job(nodes=2, recorded_nodes=(1,))
+
+    def test_rejects_non_positive_wall_limit(self):
+        with pytest.raises(DataLoaderError):
+            make_job(wall_limit=0.0)
+
+
+class TestDerivedProperties:
+    def test_requested_runtime_prefers_wall_limit(self):
+        assert make_job(duration=600, wall_limit=3600).requested_runtime == 3600
+        assert make_job(duration=600).requested_runtime == 600
+
+    def test_node_seconds(self):
+        assert make_job(nodes=4, duration=100).node_seconds == 400
+
+    def test_wait_and_turnaround_before_start(self):
+        job = make_job()
+        assert job.wait_time is None
+        assert job.turnaround_time is None
+        assert job.sim_duration is None
+
+
+class TestStateMachine:
+    def test_full_lifecycle(self):
+        job = make_job(nodes=2, submit=0, duration=100)
+        job.mark_queued(5.0)
+        assert job.state is JobState.QUEUED
+        job.mark_running(10.0, (3, 4))
+        assert job.state is JobState.RUNNING
+        assert job.is_active
+        job.mark_completed(110.0)
+        assert job.state is JobState.COMPLETED
+        assert job.is_finished
+        assert job.wait_time == pytest.approx(10.0 - 5.0)
+        assert job.turnaround_time == pytest.approx(110.0 - 5.0)
+        assert job.sim_duration == pytest.approx(100.0)
+
+    def test_cannot_queue_twice(self):
+        job = make_job()
+        job.mark_queued(0.0)
+        with pytest.raises(SimulationError):
+            job.mark_queued(1.0)
+
+    def test_cannot_start_completed_job(self):
+        job = make_job()
+        job.mark_queued(0.0)
+        job.mark_running(0.0, (0,))
+        job.mark_completed(10.0)
+        with pytest.raises(SimulationError):
+            job.mark_running(20.0, (0,))
+
+    def test_allocation_size_must_match(self):
+        job = make_job(nodes=3)
+        job.mark_queued(0.0)
+        with pytest.raises(SimulationError):
+            job.mark_running(0.0, (1, 2))
+
+    def test_cannot_complete_unstarted(self):
+        with pytest.raises(SimulationError):
+            make_job().mark_completed(0.0)
+
+    def test_dismiss(self):
+        job = make_job()
+        job.mark_dismissed()
+        assert job.state is JobState.DISMISSED
+        assert job.is_finished
+
+    def test_cannot_dismiss_running(self):
+        job = make_job()
+        job.mark_queued(0.0)
+        job.mark_running(0.0, (0,))
+        with pytest.raises(SimulationError):
+            job.mark_dismissed()
+
+
+class TestTelemetryAccess:
+    def test_utilization_relative_to_sim_start(self):
+        from repro.telemetry import Profile
+
+        job = make_job(duration=100)
+        object.__setattr__  # noqa: B018 - jobs are plain dataclasses, direct assign is fine
+        job.cpu_util = Profile([0, 50], [0.2, 0.9])
+        job.mark_queued(0.0)
+        job.mark_running(1000.0, (0,))
+        cpu, _, _ = job.utilization_at(1010.0)
+        assert cpu == pytest.approx(0.2)
+        cpu, _, _ = job.utilization_at(1060.0)
+        assert cpu == pytest.approx(0.9)
+
+    def test_recorded_power_none_without_trace(self):
+        assert make_job().recorded_power_at(0.0) is None
+
+    def test_recorded_power_with_trace(self):
+        job = make_job(node_power=constant_profile(500.0, 600.0))
+        job.mark_queued(0.0)
+        job.mark_running(10.0, (0,))
+        assert job.recorded_power_at(20.0) == pytest.approx(500.0)
+
+    def test_static_features_keys(self):
+        features = make_job().static_features()
+        assert set(features) == {
+            "nodes_required",
+            "requested_runtime",
+            "priority",
+            "submit_hour",
+        }
+
+
+class TestCopyForSimulation:
+    def test_copy_resets_simulation_state(self):
+        job = make_job()
+        job.mark_queued(0.0)
+        job.mark_running(5.0, (0,))
+        copy = job.copy_for_simulation()
+        assert copy.state is JobState.PENDING
+        assert copy.assigned_nodes == ()
+        assert copy.sim_start_time is None
+        assert copy.job_id == job.job_id
+        assert copy.nodes_required == job.nodes_required
+
+    def test_copy_metadata_is_independent(self):
+        job = make_job()
+        copy = job.copy_for_simulation()
+        copy.metadata["x"] = 1
+        assert "x" not in job.metadata
+
+
+class TestTraceFlags:
+    def test_flags_combine(self):
+        flags = TraceFlag.STARTED_BEFORE_CAPTURE | TraceFlag.PREPOPULATED
+        assert TraceFlag.STARTED_BEFORE_CAPTURE in flags
+        assert TraceFlag.ENDED_AFTER_CAPTURE not in flags
+
+    def test_default_no_flags(self):
+        assert make_job().trace_flags is TraceFlag.NONE

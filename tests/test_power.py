@@ -1,0 +1,199 @@
+"""Tests for the node, loss and system power models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PowerLossConfig, get_system_config
+from repro.power import (
+    ConversionLossModel,
+    NodePowerModel,
+    SystemPowerModel,
+    system_idle_power_kw,
+)
+from repro.telemetry import Profile, constant_profile
+
+from .conftest import make_job
+
+
+class TestNodePowerModel:
+    @pytest.fixture
+    def model(self, tiny_system):
+        return NodePowerModel(tiny_system.partitions[0].node_power)
+
+    def test_idle_power(self, model):
+        assert model.power(0.0, 0.0, 0.0) == pytest.approx(model.idle_power)
+
+    def test_max_power(self, model):
+        assert model.power(1.0, 1.0, 1.0) == pytest.approx(model.max_power)
+
+    def test_monotonic_in_cpu(self, model):
+        assert model.power(0.8) > model.power(0.2)
+
+    def test_monotonic_in_gpu(self, model):
+        assert model.power(0.5, 0.9) > model.power(0.5, 0.1)
+
+    def test_clipping(self, model):
+        assert model.power(2.0, 2.0, 2.0) == pytest.approx(model.max_power)
+        assert model.power(-1.0) == pytest.approx(model.power(0.0))
+
+    def test_vectorised(self, model):
+        utils = np.linspace(0, 1, 11)
+        powers = model.power(utils)
+        assert powers.shape == (11,)
+        assert np.all(np.diff(powers) > 0)
+
+    @given(
+        cpu=st.floats(min_value=0, max_value=1),
+        gpu=st.floats(min_value=0, max_value=1),
+        mem=st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_power_bounded_property(self, cpu, gpu, mem):
+        model = NodePowerModel(get_system_config("tiny").partitions[0].node_power)
+        p = model.power(cpu, gpu, mem)
+        assert model.idle_power - 1e-9 <= p <= model.max_power + 1e-9
+
+
+class TestSystemIdlePower:
+    def test_scales_with_node_count(self):
+        frontier = system_idle_power_kw(get_system_config("frontier"))
+        tiny = system_idle_power_kw(get_system_config("tiny"))
+        assert frontier > 100 * tiny
+
+    def test_down_nodes_excluded(self):
+        system = get_system_config("tiny").with_overrides(down_node_fraction=0.5)
+        assert system_idle_power_kw(system) == pytest.approx(
+            0.5 * system_idle_power_kw(system, include_down=True)
+        )
+
+
+class TestConversionLossModel:
+    @pytest.fixture
+    def model(self):
+        return ConversionLossModel(PowerLossConfig(), peak_compute_power_kw=1000.0)
+
+    def test_losses_positive(self, model):
+        breakdown = model.evaluate(500.0)
+        assert breakdown.sivoc_loss_kw > 0
+        assert breakdown.rectifier_loss_kw > 0
+        assert breakdown.switchgear_loss_kw > 0
+        assert breakdown.facility_power_kw > 500.0
+
+    def test_zero_power(self, model):
+        breakdown = model.evaluate(0.0)
+        assert breakdown.total_loss_kw == pytest.approx(0.0)
+        assert breakdown.efficiency == pytest.approx(1.0)
+
+    def test_efficiency_improves_with_load(self, model):
+        low = model.evaluate(50.0).efficiency
+        high = model.evaluate(900.0).efficiency
+        assert high > low
+
+    def test_efficiency_below_one(self, model):
+        assert model.evaluate(800.0).efficiency < 1.0
+
+    def test_loss_fraction_larger_at_low_load(self, model):
+        low = model.evaluate(50.0)
+        high = model.evaluate(900.0)
+        assert low.total_loss_kw / low.compute_power_kw > high.total_loss_kw / high.compute_power_kw
+
+    def test_stage_efficiency_curve_monotonic(self, model):
+        loads = np.linspace(0.01, 1.0, 50)
+        eff = model.rectifier_efficiency(loads)
+        assert np.all(np.diff(eff) > 0)
+        assert eff.max() <= PowerLossConfig().rectifier_efficiency_peak + 1e-9
+
+    def test_negative_power_clamped(self, model):
+        assert model.evaluate(-10.0).facility_power_kw == 0.0
+
+    def test_invalid_peak_power(self):
+        with pytest.raises(ValueError):
+            ConversionLossModel(PowerLossConfig(), peak_compute_power_kw=0.0)
+
+    @given(power=st.floats(min_value=0.0, max_value=2000.0))
+    @settings(max_examples=50, deadline=None)
+    def test_facility_at_least_compute_property(self, power):
+        model = ConversionLossModel(PowerLossConfig(), peak_compute_power_kw=1000.0)
+        breakdown = model.evaluate(power)
+        assert breakdown.facility_power_kw >= breakdown.compute_power_kw
+
+
+class TestSystemPowerModel:
+    @pytest.fixture
+    def model(self, tiny_system):
+        return SystemPowerModel(tiny_system)
+
+    def test_idle_system_sample(self, model, tiny_system):
+        sample = model.sample(0.0, [])
+        assert sample.job_power_kw == 0.0
+        assert sample.idle_power_kw == pytest.approx(tiny_system.idle_system_power_kw)
+        assert sample.facility_power_kw > sample.compute_power_kw
+
+    def test_job_power_from_utilization(self, model):
+        job = make_job(nodes=4, cpu=1.0, gpu=1.0, mem=1.0)
+        job.mark_queued(0.0)
+        job.mark_running(0.0, (0, 1, 2, 3))
+        node_max = model.system.partitions[0].node_power.max_watts
+        assert model.job_power_watts(job, 10.0) == pytest.approx(4 * node_max)
+
+    def test_recorded_power_trace_wins(self, model):
+        job = make_job(nodes=2, cpu=0.0, node_power=constant_profile(1234.0, 600))
+        job.mark_queued(0.0)
+        job.mark_running(0.0, (0, 1))
+        assert model.job_power_watts(job, 5.0) == pytest.approx(2 * 1234.0)
+
+    def test_sample_with_running_jobs(self, model):
+        jobs = []
+        for i in range(3):
+            job = make_job(nodes=2, cpu=0.5, gpu=0.5)
+            job.mark_queued(0.0)
+            job.mark_running(0.0, (2 * i, 2 * i + 1))
+            jobs.append(job)
+        sample = model.sample(100.0, jobs)
+        assert sample.allocated_nodes == 6
+        assert sample.job_power_kw > 0
+        assert 0 < sample.mean_cpu_util <= 1
+        # Idle nodes: 32 - 6 = 26
+        per_node_idle = model.system.partitions[0].node_power.min_watts / 1000.0
+        assert sample.idle_power_kw == pytest.approx(26 * per_node_idle)
+
+    def test_more_load_more_power(self, model):
+        def sample_for(util):
+            job = make_job(nodes=8, cpu=util, gpu=util)
+            job.mark_queued(0.0)
+            job.mark_running(0.0, tuple(range(8)))
+            return model.sample(10.0, [job])
+
+        assert sample_for(0.9).facility_power_kw > sample_for(0.1).facility_power_kw
+
+    def test_job_energy_constant_profile(self, model):
+        job = make_job(nodes=2, duration=1000, node_power=constant_profile(500.0, 1000))
+        assert model.job_energy_joules(job) == pytest.approx(2 * 500.0 * 1000)
+
+    def test_job_energy_from_utilization(self, model):
+        job = make_job(nodes=1, duration=100, cpu=0.0, gpu=0.0, mem=0.0)
+        node_min = model.system.partitions[0].node_power.min_watts
+        assert model.job_energy_joules(job) == pytest.approx(node_min * 100)
+
+    def test_job_energy_zero_duration(self, model, job_factory):
+        job = job_factory(duration=0.0)
+        assert model.job_energy_joules(job) == 0.0
+
+    def test_job_energy_piecewise_profile(self, model, tiny_system):
+        node_cfg = tiny_system.partitions[0].node_power
+        job = make_job(nodes=1, duration=200, cpu=0.0)
+        job.cpu_util = Profile([0, 100], [0.0, 1.0])
+        job.gpu_util = constant_profile(0.0, 200)
+        job.mem_util = constant_profile(0.0, 200)
+        low = node_cfg.min_watts
+        high = low + node_cfg.cpus_per_node * (node_cfg.cpu_max_watts - node_cfg.cpu_idle_watts)
+        assert model.job_energy_joules(job) == pytest.approx(low * 100 + high * 100)
+
+    def test_down_nodes_reduce_idle_power(self, model):
+        with_down = model.sample(0.0, [], down_nodes=16)
+        without = model.sample(0.0, [])
+        assert with_down.idle_power_kw < without.idle_power_kw

@@ -1,0 +1,85 @@
+"""Tests for Standard Workload Format reading and writing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DataLoaderError
+from repro.telemetry import jobs_to_swf, parse_swf, read_swf, write_swf
+
+from .conftest import make_job
+
+SAMPLE_SWF = """\
+; Header comment
+; MaxProcs: 128
+1 0 10 3600 16 -1 -1 16 7200 -1 1 3 5 -1 1 -1 -1 -1
+2 100 0 1800 32 -1 -1 32 3600 -1 1 4 5 -1 2 -1 -1 -1
+3 200 50 -1 8 -1 -1 8 3600 -1 0 5 6 -1 1 -1 -1 -1
+"""
+
+
+class TestParseSwf:
+    def test_parses_valid_jobs(self):
+        jobs = parse_swf(SAMPLE_SWF)
+        # Job 3 has run_time == -1 (never ran) and is skipped.
+        assert len(jobs) == 2
+
+    def test_fields_mapped(self):
+        job = parse_swf(SAMPLE_SWF)[0]
+        assert job.submit_time == 0
+        assert job.start_time == 10
+        assert job.end_time == 10 + 3600
+        assert job.nodes_required == 16
+        assert job.wall_time_limit == 7200
+        assert job.user == "user3"
+        assert job.account == "group5"
+
+    def test_processors_per_node_ceil(self):
+        jobs = parse_swf(SAMPLE_SWF, processors_per_node=10)
+        assert jobs[0].nodes_required == 2  # ceil(16/10)
+
+    def test_comments_and_blank_lines_ignored(self):
+        assert parse_swf("; only comments\n\n") == []
+
+    def test_truncated_line_rejected(self):
+        with pytest.raises(DataLoaderError):
+            parse_swf("1 0 10 3600 16\n")
+
+    def test_swf_metadata_preserved(self):
+        job = parse_swf(SAMPLE_SWF)[0]
+        assert job.metadata["swf"]["queue_number"] == 1
+
+
+class TestRoundTrip:
+    def test_export_then_parse(self):
+        original = [
+            make_job(nodes=4, submit=0, start=50, duration=600, user="user007", account="acct003"),
+            make_job(nodes=2, submit=100, start=150, duration=1200, wall_limit=3600),
+        ]
+        text = jobs_to_swf(original)
+        parsed = parse_swf(text)
+        assert len(parsed) == len(original)
+        assert [j.nodes_required for j in parsed] == [4, 2]
+        assert parsed[0].submit_time == 0
+        assert parsed[0].duration == pytest.approx(600, abs=1)
+        assert parsed[1].wall_time_limit == pytest.approx(3600)
+
+    def test_export_sorted_by_submit(self):
+        jobs = [
+            make_job(submit=500, start=500),
+            make_job(submit=0, start=10),
+        ]
+        parsed = parse_swf(jobs_to_swf(jobs))
+        assert parsed[0].submit_time <= parsed[1].submit_time
+
+    def test_file_roundtrip(self, tmp_path):
+        jobs = [make_job(nodes=8, submit=0, start=10, duration=300)]
+        path = tmp_path / "workload.swf"
+        write_swf(jobs, path)
+        loaded = read_swf(path)
+        assert len(loaded) == 1
+        assert loaded[0].nodes_required == 8
+
+    def test_header_contains_maxprocs(self):
+        text = jobs_to_swf([make_job(nodes=64)])
+        assert "MaxProcs: 64" in text

@@ -1,0 +1,179 @@
+"""Tests for telemetry profiles (sampling, gap filling, integration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import DataLoaderError
+from repro.telemetry import Profile, constant_profile
+
+
+class TestProfileConstruction:
+    def test_basic(self):
+        p = Profile([0, 10, 20], [1.0, 2.0, 3.0])
+        assert len(p) == 3
+        assert p.duration == 20
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DataLoaderError):
+            Profile([0, 10], [1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataLoaderError):
+            Profile([], [])
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(DataLoaderError):
+            Profile([-1, 10], [1.0, 2.0])
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(DataLoaderError):
+            Profile([0, 10, 10], [1.0, 2.0, 3.0])
+
+    def test_rejects_nan_values(self):
+        with pytest.raises(DataLoaderError):
+            Profile([0, 10], [1.0, float("nan")])
+
+    def test_arrays_read_only(self):
+        p = Profile([0, 10], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            p.values[0] = 5.0
+
+    def test_equality_and_hash(self):
+        a = Profile([0, 10], [1.0, 2.0])
+        b = Profile([0, 10], [1.0, 2.0])
+        c = Profile([0, 10], [1.0, 3.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestSampling:
+    def test_zero_order_hold(self):
+        p = Profile([0, 10, 20], [1.0, 2.0, 3.0])
+        assert p.value_at(0) == 1.0
+        assert p.value_at(5) == 1.0
+        assert p.value_at(10) == 2.0
+        assert p.value_at(15) == 2.0
+        assert p.value_at(20) == 3.0
+
+    def test_last_known_value_extension(self):
+        """Missing data beyond the trace uses the last known value (Sec. 3.2.2)."""
+        p = Profile([0, 10], [1.0, 4.0])
+        assert p.value_at(100.0) == 4.0
+        assert p.value_at(1e9) == 4.0
+
+    def test_before_first_sample(self):
+        p = Profile([5, 10], [2.0, 4.0])
+        assert p.value_at(0.0) == 2.0
+
+    def test_values_at_vectorised(self):
+        p = Profile([0, 10, 20], [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(p.values_at([0, 5, 10, 25]), [1.0, 1.0, 2.0, 3.0])
+
+
+class TestStatistics:
+    def test_mean_single_sample(self):
+        assert constant_profile(0.7).mean() == pytest.approx(0.7)
+
+    def test_time_weighted_mean(self):
+        # 1.0 held for 10s, then 3.0 held for 30s => (10+90)/40 = 2.5
+        p = Profile([0, 10, 40], [1.0, 3.0, 99.0])
+        assert p.mean() == pytest.approx(2.5)
+
+    def test_min_max_std(self):
+        p = Profile([0, 10, 20], [1.0, 5.0, 3.0])
+        assert p.maximum() == 5.0
+        assert p.minimum() == 1.0
+        assert p.std() == pytest.approx(np.std([1.0, 5.0, 3.0]))
+
+    def test_summary_statistics_keys(self):
+        stats = Profile([0, 10], [1.0, 2.0]).summary_statistics()
+        assert set(stats) == {"mean", "max", "min", "std"}
+
+
+class TestIntegration:
+    def test_integral_constant(self):
+        p = constant_profile(100.0, 50.0)
+        assert p.integral(50.0) == pytest.approx(5000.0)
+
+    def test_integral_extends_last_value(self):
+        p = Profile([0, 10], [100.0, 200.0])
+        # 100 W for 10s + 200 W for 90s
+        assert p.integral(100.0) == pytest.approx(100 * 10 + 200 * 90)
+
+    def test_integral_default_duration(self):
+        p = Profile([0, 10, 20], [100.0, 200.0, 0.0])
+        assert p.integral() == pytest.approx(100 * 10 + 200 * 10)
+
+    def test_integral_zero_duration(self):
+        assert Profile([0], [5.0]).integral(0.0) == 0.0
+
+    def test_integral_window_before_first_sample(self):
+        p = Profile([10, 20], [100.0, 200.0])
+        assert p.integral(5.0) == pytest.approx(500.0)
+
+    def test_integral_negative_duration_rejected(self):
+        with pytest.raises(DataLoaderError):
+            Profile([0], [1.0]).integral(-1.0)
+
+    @given(
+        value=st.floats(min_value=0.0, max_value=1e4),
+        duration=st.floats(min_value=0.1, max_value=1e5),
+    )
+    def test_constant_profile_integral_property(self, value, duration):
+        p = constant_profile(value, duration)
+        assert p.integral(duration) == pytest.approx(value * duration, rel=1e-9)
+
+
+class TestTransformations:
+    def test_scaled(self):
+        p = Profile([0, 10], [1.0, 2.0]).scaled(3.0)
+        np.testing.assert_allclose(p.values, [3.0, 6.0])
+
+    def test_clipped_rebases_time(self):
+        p = Profile([0, 10, 20, 30], [1.0, 2.0, 3.0, 4.0])
+        clipped = p.clipped(5, 25)
+        assert clipped.times[0] == 0.0
+        assert clipped.value_at(0) == 1.0  # value in effect at t=5
+        assert clipped.value_at(5) == 2.0  # original t=10
+        assert clipped.duration == pytest.approx(15.0)
+
+    def test_clipped_invalid_window(self):
+        with pytest.raises(DataLoaderError):
+            Profile([0, 10], [1.0, 2.0]).clipped(10, 10)
+
+    def test_resampled_regular_grid(self):
+        p = Profile([0, 10, 20], [1.0, 2.0, 3.0])
+        r = p.resampled(5.0)
+        np.testing.assert_allclose(r.times, [0, 5, 10, 15, 20])
+        np.testing.assert_allclose(r.values, [1, 1, 2, 2, 3])
+
+    def test_resampled_invalid_interval(self):
+        with pytest.raises(DataLoaderError):
+            Profile([0], [1.0]).resampled(0.0)
+
+    @given(
+        times=st.lists(
+            st.integers(min_value=0, max_value=100_000), min_size=2, max_size=30, unique=True
+        ),
+        factor=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_scaling_preserves_mean_ratio(self, times, factor):
+        times = sorted(float(t) for t in times)
+        values = np.linspace(1.0, 2.0, len(times))
+        p = Profile(times, values)
+        assert p.scaled(factor).mean() == pytest.approx(p.mean() * factor, rel=1e-9)
+
+
+class TestConstantProfile:
+    def test_zero_duration_single_sample(self):
+        assert len(constant_profile(0.5)) == 1
+
+    def test_with_duration_two_samples(self):
+        p = constant_profile(0.5, 100.0)
+        assert len(p) == 2
+        assert p.duration == 100.0

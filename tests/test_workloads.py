@@ -1,0 +1,218 @@
+"""Tests for synthetic workload distributions and the generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import get_system_config
+from repro.exceptions import ConfigurationError
+from repro.workloads import (
+    JobSizeDistribution,
+    PoissonArrivals,
+    RuntimeDistribution,
+    SyntheticWorkloadGenerator,
+    UserPopulation,
+    WaveArrivals,
+    WorkloadSpec,
+)
+
+
+class TestJobSizeDistribution:
+    def test_within_bounds(self, rng):
+        dist = JobSizeDistribution(min_nodes=2, max_nodes=100)
+        sizes = dist.sample(rng, 500)
+        assert sizes.min() >= 2
+        assert sizes.max() <= 100
+
+    def test_full_system_fraction(self, rng):
+        dist = JobSizeDistribution(min_nodes=1, max_nodes=64, full_system_fraction=1.0)
+        assert np.all(dist.sample(rng, 50) == 64)
+
+    def test_skew_towards_small_jobs(self, rng):
+        dist = JobSizeDistribution(min_nodes=1, max_nodes=1024, small_job_skew=2.0)
+        sizes = dist.sample(rng, 2000)
+        assert np.median(sizes) < 64
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            JobSizeDistribution(min_nodes=10, max_nodes=5)
+
+    def test_invalid_bias(self):
+        with pytest.raises(ConfigurationError):
+            JobSizeDistribution(power_of_two_bias=1.5)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_always_positive_integers(self, seed):
+        rng = np.random.default_rng(seed)
+        sizes = JobSizeDistribution(min_nodes=1, max_nodes=256).sample(rng, 100)
+        assert sizes.dtype.kind == "i"
+        assert (sizes >= 1).all()
+
+
+class TestRuntimeDistribution:
+    def test_within_bounds(self, rng):
+        dist = RuntimeDistribution(median_s=3600, min_s=60, max_s=7200)
+        runtimes = dist.sample(rng, 1000)
+        assert runtimes.min() >= 60
+        assert runtimes.max() <= 7200
+
+    def test_wall_limits_at_least_runtime(self, rng):
+        dist = RuntimeDistribution()
+        runtimes = dist.sample(rng, 200)
+        limits = dist.sample_wall_limits(rng, runtimes)
+        assert np.all(limits >= runtimes)
+
+    def test_wall_limits_granularity(self, rng):
+        dist = RuntimeDistribution(limit_granularity_s=1800)
+        runtimes = dist.sample(rng, 100)
+        limits = dist.sample_wall_limits(rng, runtimes)
+        np.testing.assert_allclose(np.mod(limits, 1800), 0, atol=1e-9)
+
+    def test_invalid_overestimate(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeDistribution(overestimate_max=0.5)
+
+
+class TestArrivals:
+    def test_poisson_in_window(self, rng):
+        arrivals = PoissonArrivals(rate_per_hour=60).sample(rng, 3600.0, start_s=100.0)
+        assert np.all(arrivals >= 100.0)
+        assert np.all(arrivals < 3700.0)
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_poisson_rate_scaling(self, rng):
+        low = PoissonArrivals(rate_per_hour=5).sample(rng, 48 * 3600.0).size
+        high = PoissonArrivals(rate_per_hour=50).sample(rng, 48 * 3600.0).size
+        assert high > low * 3
+
+    def test_wave_intensity_oscillates(self):
+        arrivals = WaveArrivals(rate_per_hour=10, amplitude=0.9)
+        t = np.linspace(0, 86400, 200)
+        intensity = arrivals.intensity(t)
+        assert intensity.max() > 1.5 * intensity.min()
+        assert intensity.min() > 0
+
+    def test_wave_sample_sorted_in_window(self, rng):
+        times = WaveArrivals(rate_per_hour=30).sample(rng, 86400.0)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0.0
+        assert times.max() < 86400.0
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(ConfigurationError):
+            WaveArrivals(amplitude=1.0)
+
+
+class TestUserPopulation:
+    def test_user_names_within_pool(self, rng):
+        pop = UserPopulation(n_users=5, n_accounts=2)
+        users = pop.sample_users(rng, 100)
+        assert set(users) <= {f"user{i:03d}" for i in range(5)}
+
+    def test_account_mapping_stable(self):
+        pop = UserPopulation(n_accounts=4)
+        assert pop.account_of("user013") == pop.account_of("user013")
+        assert pop.account_of("user013").startswith("acct")
+
+    def test_zipf_concentration(self, rng):
+        pop = UserPopulation(n_users=50, zipf_exponent=1.5)
+        users = pop.sample_users(rng, 2000)
+        counts = {}
+        for user in users:
+            counts[user] = counts.get(user, 0) + 1
+        top = max(counts.values())
+        assert top > 2000 / 50  # far more than uniform share
+
+
+class TestSyntheticWorkloadGenerator:
+    def test_deterministic_given_seed(self, tiny_system):
+        spec = WorkloadSpec(sizes=JobSizeDistribution(max_nodes=16))
+        a = SyntheticWorkloadGenerator(tiny_system, spec, seed=3).generate(4 * 3600)
+        b = SyntheticWorkloadGenerator(tiny_system, spec, seed=3).generate(4 * 3600)
+        assert len(a) == len(b)
+        assert [j.nodes_required for j in a] == [j.nodes_required for j in b]
+        assert [j.submit_time for j in a] == [j.submit_time for j in b]
+
+    def test_different_seeds_differ(self, tiny_system):
+        spec = WorkloadSpec(sizes=JobSizeDistribution(max_nodes=16))
+        a = SyntheticWorkloadGenerator(tiny_system, spec, seed=1).generate(4 * 3600)
+        b = SyntheticWorkloadGenerator(tiny_system, spec, seed=2).generate(4 * 3600)
+        assert [j.submit_time for j in a] != [j.submit_time for j in b]
+
+    def test_jobs_fit_system(self, tiny_workload, tiny_system):
+        assert all(1 <= j.nodes_required <= tiny_system.total_nodes for j in tiny_workload)
+
+    def test_jobs_sorted_by_submit(self, tiny_workload):
+        submits = [j.submit_time for j in tiny_workload]
+        assert submits == sorted(submits)
+
+    def test_time_ordering_invariants(self, tiny_workload):
+        for job in tiny_workload:
+            assert job.submit_time <= job.start_time < job.end_time
+            assert job.wall_time_limit is None or job.wall_time_limit > 0
+
+    def test_prehistory_jobs_present(self, tiny_workload):
+        assert any(j.submit_time < 0 for j in tiny_workload)
+
+    def test_no_prehistory_when_disabled(self, tiny_system):
+        gen = SyntheticWorkloadGenerator(tiny_system, WorkloadSpec(sizes=JobSizeDistribution(max_nodes=8)), seed=5)
+        jobs = gen.generate(3600.0, include_prehistory=False)
+        assert all(j.submit_time >= 0 for j in jobs)
+
+    def test_power_trace_generated(self, tiny_workload):
+        assert all(j.node_power is not None for j in tiny_workload)
+
+    def test_power_trace_consistent_with_node_model(self, tiny_workload, tiny_system):
+        node = tiny_system.partitions[0].node_power
+        for job in tiny_workload[:10]:
+            assert job.node_power.minimum() >= node.min_watts - 1e-6
+            assert job.node_power.maximum() <= node.max_watts + 1e-6
+
+    def test_scalar_telemetry_mode(self, tiny_system):
+        spec = WorkloadSpec(
+            sizes=JobSizeDistribution(max_nodes=8), trace_interval_s=None
+        )
+        jobs = SyntheticWorkloadGenerator(tiny_system, spec, seed=2).generate(3600.0)
+        assert all(len(j.cpu_util) <= 2 for j in jobs)
+
+    def test_generate_job_count_approximate(self, tiny_system):
+        gen = SyntheticWorkloadGenerator(
+            tiny_system,
+            WorkloadSpec(sizes=JobSizeDistribution(max_nodes=8), arrivals=WaveArrivals(rate_per_hour=30)),
+            seed=11,
+        )
+        jobs = gen.generate_job_count(200)
+        assert 100 <= len(jobs) <= 350
+
+    def test_oversized_workload_rejected(self, tiny_system):
+        spec = WorkloadSpec(sizes=JobSizeDistribution(max_nodes=10_000))
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkloadGenerator(tiny_system, spec)
+
+    def test_utilization_profiles_in_unit_range(self, tiny_workload):
+        for job in tiny_workload[:20]:
+            for profile in (job.cpu_util, job.gpu_util, job.mem_util):
+                assert profile.minimum() >= 0.0
+                assert profile.maximum() <= 1.0
+
+    def test_accounts_assigned(self, tiny_workload):
+        assert all(j.account.startswith("acct") for j in tiny_workload)
+        assert all(j.user.startswith("user") for j in tiny_workload)
+
+    def test_full_scale_system_generation(self):
+        """Generating a Frontier-sized workload works and scales to 9,216-node jobs."""
+        frontier = get_system_config("frontier")
+        spec = WorkloadSpec(
+            sizes=JobSizeDistribution(min_nodes=1, max_nodes=9216, full_system_fraction=0.01),
+            arrivals=WaveArrivals(rate_per_hour=20),
+            trace_interval_s=None,
+        )
+        jobs = SyntheticWorkloadGenerator(frontier, spec, seed=9).generate(
+            6 * 3600, include_prehistory=False
+        )
+        assert len(jobs) > 50
+        assert max(j.nodes_required for j in jobs) <= 9216
