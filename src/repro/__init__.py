@@ -18,4 +18,58 @@ Quick start::
 
 from .version import __version__
 
-__all__ = ["__version__"]
+from .config import (
+    SystemConfig,
+    available_systems,
+    get_system_config,
+    register_system_config,
+)
+from .cluster import ResourceManager
+from .cooling import CoolingPlant
+from .engine import (
+    BackfillScheduler,
+    FCFSScheduler,
+    ReplayScheduler,
+    Scheduler,
+    SimulationEngine,
+    SimulationResult,
+    StatsCollector,
+    available_policies,
+    get_scheduler,
+    run_simulation,
+)
+from .power import SystemPowerModel
+from .telemetry import Job, JobState, Profile, constant_profile, read_swf
+from .workloads import SyntheticWorkloadGenerator, WorkloadSpec
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SystemConfig",
+    "available_systems",
+    "get_system_config",
+    "register_system_config",
+    # simulation engine
+    "SimulationEngine",
+    "SimulationResult",
+    "StatsCollector",
+    "run_simulation",
+    "Scheduler",
+    "ReplayScheduler",
+    "FCFSScheduler",
+    "BackfillScheduler",
+    "available_policies",
+    "get_scheduler",
+    # component models
+    "ResourceManager",
+    "SystemPowerModel",
+    "CoolingPlant",
+    # workload / telemetry
+    "Job",
+    "JobState",
+    "Profile",
+    "constant_profile",
+    "read_swf",
+    "SyntheticWorkloadGenerator",
+    "WorkloadSpec",
+]

@@ -11,7 +11,8 @@ the engine's step order.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import heapq
+from typing import Sequence
 
 import numpy as np
 
@@ -42,6 +43,22 @@ class ResourceManager:
             n_down = int(round(system.down_node_fraction * system.total_nodes))
             for node_id in rng.choice(system.total_nodes, size=n_down, replace=False):
                 self.nodes[int(node_id)].mark_down()
+
+        # Free-node index: per-partition id sets (membership / counts) plus
+        # min-heaps (lowest-id-first selection) so placing a job is
+        # O(n log N) instead of a full inventory scan. Node state changes
+        # must go through allocate/release for the index to stay in sync;
+        # heap entries staled by explicit placements are discarded lazily.
+        self._partition_of: list[str] = [""] * system.total_nodes
+        self._free_sets: dict[str, set[int]] = {}
+        self._free_heaps: dict[str, list[int]] = {}
+        for partition in system.partitions:
+            node_range = system.partition_node_range(partition.name)
+            for nid in node_range:
+                self._partition_of[nid] = partition.name
+            free_ids = [nid for nid in node_range if self.nodes[nid].is_available]
+            self._free_sets[partition.name] = set(free_ids)
+            self._free_heaps[partition.name] = free_ids  # ascending == valid heap
 
     # -- inventory queries -----------------------------------------------------
 
@@ -86,18 +103,25 @@ class ResourceManager:
     def available_node_ids(self, partition: str | None = None) -> list[int]:
         """Ids of idle nodes, optionally restricted to one partition."""
         if partition is None:
-            candidates: Iterable[Node] = self.nodes
-        else:
-            node_range = self.system.partition_node_range(partition)
-            candidates = (self.nodes[i] for i in node_range)
-        return [node.node_id for node in candidates if node.is_available]
+            ids: list[int] = []
+            for p in self.system.partitions:
+                ids.extend(sorted(self._free_sets[p.name]))
+            return ids
+        self.system.partition_node_range(partition)  # validates the name
+        return sorted(self._free_sets[partition])
+
+    def free_node_count(self, partition: str | None = None) -> int:
+        """Number of idle in-service nodes, from the O(1) free-node index."""
+        if partition is None:
+            return sum(len(s) for s in self._free_sets.values())
+        return len(self._free_sets.get(partition, ()))
 
     def can_allocate(self, job: Job) -> bool:
         """Whether the job's node request can currently be satisfied."""
         if job.recorded_nodes and self._replay_placement_possible(job):
             return True
         partition = job.partition if self._partition_exists(job.partition) else None
-        return len(self.available_node_ids(partition)) >= job.nodes_required
+        return self.free_node_count(partition) >= job.nodes_required
 
     # -- allocation / release ---------------------------------------------------
 
@@ -142,13 +166,13 @@ class ResourceManager:
             chosen = tuple(node_ids)
         else:
             partition = job.partition if self._partition_exists(job.partition) else None
-            free = self.available_node_ids(partition)
-            if len(free) < job.nodes_required:
+            free = self.free_node_count(partition)
+            if free < job.nodes_required:
                 raise AllocationError(
                     f"job {job.job_id}: requested {job.nodes_required} nodes, "
-                    f"only {len(free)} available"
+                    f"only {free} available"
                 )
-            chosen = tuple(free[: job.nodes_required])
+            chosen = tuple(self._pop_free_nodes(job.nodes_required, partition))
 
         if len(set(chosen)) != len(chosen):
             raise AllocationError(f"job {job.job_id}: duplicate node ids in placement")
@@ -165,6 +189,7 @@ class ResourceManager:
 
         for nid in chosen:
             self.nodes[nid].allocate(job.job_id, now)
+            self._free_sets[self._partition_of[nid]].discard(nid)
         job.mark_running(now, chosen)
         self._running[job.job_id] = job
         return chosen
@@ -175,6 +200,7 @@ class ResourceManager:
             raise AllocationError(f"job {job.job_id} is not running")
         for nid in job.assigned_nodes:
             self.nodes[nid].release(now)
+            self._mark_free(nid)
         del self._running[job.job_id]
         if job.state is JobState.RUNNING:
             job.mark_completed(now)
@@ -196,11 +222,45 @@ class ResourceManager:
             end_time = (job.sim_start_time or 0.0) + job.duration
             for nid in job.assigned_nodes:
                 self.nodes[nid].release(end_time)
+                self._mark_free(nid)
             del self._running[job.job_id]
             job.mark_completed(end_time)
         return finished
 
     # -- helpers -----------------------------------------------------------------
+
+    def _mark_free(self, nid: int) -> None:
+        """Return a released node to the free-node index."""
+        name = self._partition_of[nid]
+        self._free_sets[name].add(nid)
+        heapq.heappush(self._free_heaps[name], nid)
+
+    def _pop_free_nodes(self, count: int, partition: str | None) -> list[int]:
+        """Take the ``count`` lowest-id free nodes (of one partition or all).
+
+        Entries staled by explicit/replay placements or by nodes taken out
+        of service are discarded lazily as they surface.
+        """
+        names = (
+            [partition]
+            if partition is not None
+            else [p.name for p in self.system.partitions]
+        )
+        chosen: list[int] = []
+        for name in names:
+            heap = self._free_heaps[name]
+            free = self._free_sets[name]
+            while heap and len(chosen) < count:
+                nid = heapq.heappop(heap)
+                if nid in free and self.nodes[nid].is_available:
+                    # Remove from the set immediately so a duplicate heap
+                    # entry (stale + re-pushed after a release) cannot be
+                    # chosen twice within this selection.
+                    free.discard(nid)
+                    chosen.append(nid)
+            if len(chosen) == count:
+                break
+        return chosen
 
     def _partition_exists(self, name: str) -> bool:
         return any(p.name == name for p in self.system.partitions)
@@ -212,7 +272,7 @@ class ResourceManager:
         )
 
     def snapshot(self) -> dict[str, float]:
-        """Small dictionary snapshot used by the statistics collector."""
+        """Small dictionary snapshot of the inventory state (debug/tests)."""
         return {
             "total_nodes": float(self.total_nodes),
             "allocated_nodes": float(self.allocated_nodes),

@@ -1,0 +1,6 @@
+"""Allow ``python -m repro.engine`` as an alias for ``repro-sim``."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,167 @@
+"""Command-line entry point: ``repro-sim`` / ``python -m repro.engine``.
+
+Wires a synthetic (or SWF-loaded) workload through an end-to-end simulation
+of a named system and prints the summary metrics; the per-tick time series
+and the full record can be exported for plotting.
+
+Examples
+--------
+Replay a 6-hour synthetic window on the tiny test system::
+
+    repro-sim --system tiny --mode replay --duration 6h --seed 1
+
+Reschedule a day on Frontier with EASY backfill and export the series::
+
+    repro-sim --system frontier --mode backfill --duration 24h \
+        --csv frontier.csv --json frontier.json
+
+Feed a Parallel Workloads Archive trace through FCFS::
+
+    repro-sim --system marconi100 --mode fcfs --swf kth_sp2.swf \
+        --processors-per-node 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from ..config import available_systems, get_system_config
+from ..exceptions import SRapsError
+from ..telemetry import read_swf
+from .engine import parse_duration, run_simulation
+from .scheduler import available_policies
+
+__all__ = ["main", "build_parser"]
+
+#: (summary key, label, format, unit) rows of the printed report.
+_REPORT_ROWS = (
+    ("jobs_completed", "jobs completed", "{:.0f}", ""),
+    ("jobs_dismissed", "jobs dismissed", "{:.0f}", ""),
+    ("simulated_s", "simulated span", "{:.0f}", "s"),
+    ("total_energy_kwh", "total energy", "{:.1f}", "kWh"),
+    ("it_energy_kwh", "IT energy", "{:.1f}", "kWh"),
+    ("cooling_energy_kwh", "cooling energy", "{:.1f}", "kWh"),
+    ("mean_pue", "mean PUE", "{:.4f}", ""),
+    ("max_pue", "max PUE", "{:.4f}", ""),
+    ("mean_utilization", "mean utilization", "{:.1%}", ""),
+    ("node_hours", "node-hours", "{:.1f}", "h"),
+    ("mean_wait_s", "mean wait", "{:.0f}", "s"),
+    ("max_wait_s", "max wait", "{:.0f}", "s"),
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Run the S-RAPS digital-twin simulation: workload -> scheduler -> "
+            "resource manager -> power -> cooling -> statistics."
+        ),
+    )
+    parser.add_argument(
+        "--system",
+        default="tiny",
+        help="registered system name (see --list-systems); default: tiny",
+    )
+    parser.add_argument(
+        "--mode",
+        "--policy",
+        dest="mode",
+        default=None,
+        help=(
+            "scheduling policy: "
+            + ", ".join(available_policies())
+            + " (default: the system's default policy)"
+        ),
+    )
+    parser.add_argument(
+        "--duration",
+        default="24h",
+        help="synthetic workload window, e.g. 6h, 90m, 86400 (default: 24h)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed (default: 0)")
+    parser.add_argument(
+        "--swf",
+        metavar="PATH",
+        default=None,
+        help="load the workload from a Standard Workload Format file instead",
+    )
+    parser.add_argument(
+        "--processors-per-node",
+        type=int,
+        default=1,
+        help="SWF processor-to-node conversion divisor (default: 1)",
+    )
+    parser.add_argument(
+        "--horizon",
+        default=None,
+        help="hard stop for the simulation clock, e.g. 48h (default: run to drain)",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", default=None, help="export per-tick time series as CSV"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="export summary + time series as JSON",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the summary report"
+    )
+    parser.add_argument(
+        "--list-systems",
+        action="store_true",
+        help="list registered system configurations and exit",
+    )
+    return parser
+
+
+def _print_report(result_policy: str, system_name: str, summary: dict[str, float]) -> None:
+    width = max(len(label) for _, label, _, _ in _REPORT_ROWS)
+    print(f"simulation of {system_name!r} under policy {result_policy!r}")
+    for key, label, fmt, unit in _REPORT_ROWS:
+        value = fmt.format(summary[key])
+        suffix = f" {unit}" if unit else ""
+        print(f"  {label:<{width}}  {value}{suffix}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_systems:
+        for name in available_systems():
+            config = get_system_config(name)
+            print(f"{name:<16} {config.total_nodes:>7} nodes  {config.description}")
+        return 0
+
+    try:
+        workload = None
+        if args.swf is not None:
+            workload = read_swf(args.swf, processors_per_node=args.processors_per_node)
+        result = run_simulation(
+            system=args.system,
+            policy=args.mode,
+            duration=parse_duration(args.duration),
+            seed=args.seed,
+            workload=workload,
+            horizon=args.horizon,
+        )
+    except (SRapsError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.csv:
+        result.stats.to_csv(args.csv)
+    if args.json:
+        result.stats.to_json(args.json)
+    if not args.quiet:
+        _print_report(result.policy, result.system.name, result.summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,372 @@
+"""The discrete-time simulation engine.
+
+:class:`SimulationEngine` advances a copy of the workload through the coupled
+scheduler → resource-manager → power → cooling pipeline in fixed
+``SystemConfig.timestep_s`` ticks. Releases are processed before submissions
+and scheduling within a tick, which resolves the paper's same-timestep
+end/start collision on a node; replay decisions may backdate a job's start to
+its recorded (possibly off-grid) start time so the simulated schedule matches
+the telemetry exactly.
+
+:func:`run_simulation` is the one-call entry point used by the CLI, the
+benchmark harness and the quick-start example: it resolves the system
+configuration, synthesises (or accepts) a workload, picks a policy and runs
+the engine to completion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..cluster import NodeState, ResourceManager
+from ..config import SystemConfig, get_system_config
+from ..cooling import CoolingPlant
+from ..exceptions import AllocationError, SchedulingError, SimulationError
+from ..power import SystemPowerModel
+from ..telemetry.job import Job, JobState
+from ..units import parse_duration as _parse_duration_s
+from ..workloads import SyntheticWorkloadGenerator, WorkloadSpec, default_workload_spec
+from .scheduler import BackfillScheduler, Scheduler, get_scheduler
+from .stats import StatsCollector
+
+__all__ = ["SimulationEngine", "SimulationResult", "run_simulation", "parse_duration"]
+
+
+def parse_duration(value: str | float | int) -> float:
+    """Parse a duration to positive seconds.
+
+    Delegates to :func:`repro.units.parse_duration` (plain numbers, suffixed
+    strings such as ``"90m"``/``"24h"``, Slurm clock strings such as
+    ``"1:30:00"``) and additionally rejects non-positive values, which make
+    no sense as a simulation window or horizon.
+    """
+    seconds = float(_parse_duration_s(value))
+    if seconds <= 0:
+        raise SimulationError(f"duration must be positive, got {value!r}")
+    return seconds
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished run produced."""
+
+    system: SystemConfig
+    policy: str
+    stats: StatsCollector
+    jobs: list[Job] = field(repr=False)
+    start_time_s: float = 0.0
+    end_time_s: float = 0.0
+    seed: int = 0
+
+    def summary(self) -> dict[str, float]:
+        """Shortcut for ``result.stats.summary()``."""
+        return self.stats.summary()
+
+    @property
+    def completed_jobs(self) -> list[Job]:
+        return [j for j in self.jobs if j.state is JobState.COMPLETED]
+
+    @property
+    def dismissed_jobs(self) -> list[Job]:
+        return [j for j in self.jobs if j.state is JobState.DISMISSED]
+
+
+class SimulationEngine:
+    """Discrete-time engine coupling scheduling, power and cooling.
+
+    Parameters
+    ----------
+    system:
+        The system configuration (also fixes the tick length).
+    jobs:
+        The workload. Each job is copied via :meth:`Job.copy_for_simulation`
+        so the caller's list is never mutated and the same workload can
+        drive several runs.
+    scheduler:
+        Policy instance or registry name; defaults to the system's
+        ``default_policy``.
+    seed:
+        Seed forwarded to the resource manager's down-node draw.
+    horizon_s:
+        Optional hard stop (relative to the first tick). Jobs still pending
+        or queued at the horizon are dismissed.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        jobs: list[Job],
+        scheduler: Scheduler | str | None = None,
+        *,
+        seed: int = 0,
+        horizon_s: float | None = None,
+    ) -> None:
+        self.system = system
+        if isinstance(scheduler, Scheduler):
+            self.scheduler = scheduler
+        else:
+            self.scheduler = get_scheduler(scheduler or system.default_policy)
+        self.scheduler.reset()
+        self.resource_manager = ResourceManager(system, seed=seed)
+        self.power_model = SystemPowerModel(system)
+        self.cooling_plant = (
+            CoolingPlant(system.cooling) if system.cooling is not None else None
+        )
+        self.stats = StatsCollector()
+        self.seed = seed
+        self.horizon_s = horizon_s
+
+        self.jobs = [job.copy_for_simulation() for job in jobs]
+        self._pending: deque[Job] = deque(
+            sorted(self.jobs, key=lambda j: (j.submit_time, j.job_id))
+        )
+        self._queue: list[Job] = []
+        # Capacity is fixed after the down-node draw; precompute it so the
+        # per-submission feasibility check is O(1) instead of an inventory scan.
+        rm = self.resource_manager
+        self._in_service_nodes = rm.total_nodes - rm.down_nodes
+        self._partition_capacity = {
+            partition.name: sum(
+                1
+                for nid in system.partition_node_range(partition.name)
+                if rm.nodes[nid].state is not NodeState.DOWN
+            )
+            for partition in system.partitions
+        }
+
+        timestep = float(system.timestep_s)
+        if self._pending:
+            first_submit = self._pending[0].submit_time
+            self.now = timestep * (first_submit // timestep)
+        else:
+            self.now = 0.0
+        self._start_time = self.now
+        # Loop guard: even a fully serialised (one-job-at-a-time) schedule
+        # fits inside the sum of runtimes after the last job has become
+        # startable. "Startable" must use the recorded start times, not just
+        # submit times — replay legitimately idles until each recorded start.
+        # Jobs run for their recorded duration even past the wall-time limit
+        # (SWF traces routinely contain run_time > requested_time), hence
+        # the max() over the two runtime notions.
+        latest_due = max(
+            (max(j.submit_time, j.start_time) for j in self.jobs), default=0.0
+        )
+        worst_case_s = (
+            (latest_due - self.now)
+            + sum(max(j.requested_runtime, j.duration) for j in self.jobs)
+            + timestep
+        )
+        self._max_ticks = int(worst_case_s / timestep) + 1000
+
+    # -- state queries ---------------------------------------------------------
+
+    @property
+    def queued_jobs(self) -> list[Job]:
+        """The current scheduler queue (submission order)."""
+        return list(self._queue)
+
+    @property
+    def finished(self) -> bool:
+        """True once every job has completed or been dismissed."""
+        return not self._pending and not self._queue and not self.resource_manager.running_jobs
+
+    # -- engine loop -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance one tick: release, submit, schedule, power, cooling, stats."""
+        now = self.now
+        timestep = float(self.system.timestep_s)
+
+        # (1) Release jobs whose simulated runtime has elapsed.
+        for job in self.resource_manager.complete_finished_jobs(now):
+            self.stats.record_job(job)
+
+        # (2) Submit newly-arrived jobs (at their recorded submit times).
+        while self._pending and self._pending[0].submit_time <= now:
+            job = self._pending.popleft()
+            if self._impossible(job):
+                job.mark_dismissed()
+                job.metadata["dismiss_reason"] = "request exceeds system capacity"
+                self.stats.record_job(job)
+                continue
+            job.mark_queued(job.submit_time)
+            self._queue.append(job)
+
+        # (3) Scheduling decisions, executed through the resource manager.
+        if self._queue:
+            decisions = self.scheduler.schedule(
+                tuple(self._queue), self.resource_manager, now
+            )
+            started: set[int] = set()
+            for decision in decisions:
+                job = decision.job
+                if job.state is not JobState.QUEUED or job.job_id in started:
+                    raise SchedulingError(
+                        f"policy {self.scheduler.name!r} scheduled job "
+                        f"{job.job_id} which is not queued"
+                    )
+                start = decision.start_time if decision.start_time is not None else now
+                try:
+                    self.resource_manager.allocate(
+                        job,
+                        start,
+                        node_ids=decision.node_ids,
+                        exact_placement=decision.exact_placement,
+                    )
+                except AllocationError as exc:
+                    raise SchedulingError(
+                        f"policy {self.scheduler.name!r} produced an invalid "
+                        f"placement at t={now:.0f}: {exc}"
+                    ) from exc
+                started.add(job.job_id)
+            if started:
+                self._queue = [j for j in self._queue if j.job_id not in started]
+
+        # (4) Power on the running set, (5) cooling on the resulting heat.
+        # Node counts are derived from the running set and the (immutable
+        # after the seed draw) down count rather than re-scanning the node
+        # inventory, keeping the tick O(running jobs) on large systems.
+        running = self.resource_manager.running_jobs
+        allocated = sum(job.nodes_required for job in running)
+        down = self.resource_manager.total_nodes - self._in_service_nodes
+        power = self.power_model.sample(
+            now, running, allocated_nodes=allocated, down_nodes=down
+        )
+        cooling = None
+        if self.cooling_plant is not None:
+            cooling = self.cooling_plant.step(
+                now, power.compute_power_kw, power.loss_kw, timestep
+            )
+
+        # (6) Statistics.
+        self.stats.record_tick(
+            now,
+            timestep,
+            power,
+            cooling,
+            utilization=(
+                allocated / self._in_service_nodes if self._in_service_nodes else 0.0
+            ),
+            running_jobs=len(running),
+            queued_jobs=len(self._queue),
+        )
+        self.now = now + timestep
+
+    def run(self) -> SimulationResult:
+        """Run to completion (all jobs finished, or the horizon reached)."""
+        ticks = 0
+        while not self.finished:
+            if self.horizon_s is not None and self.now - self._start_time >= self.horizon_s:
+                self._dismiss_remaining("simulation horizon reached")
+                # Jobs still on nodes are truncated at the horizon so every
+                # job ends the run completed or dismissed (their partial
+                # node-hours and waits stay in the statistics).
+                for job in self.resource_manager.running_jobs:
+                    job.metadata["truncated_by_horizon"] = True
+                    self.resource_manager.release(job, self.now)
+                    self.stats.record_job(job)
+                break
+            if ticks >= self._max_ticks:
+                raise SimulationError(
+                    f"engine exceeded {self._max_ticks} ticks without draining "
+                    f"the workload (policy {self.scheduler.name!r} stuck?)"
+                )
+            self.step()
+            ticks += 1
+        return SimulationResult(
+            system=self.system,
+            policy=self.scheduler.name,
+            stats=self.stats,
+            jobs=self.jobs,
+            start_time_s=self._start_time,
+            end_time_s=self.now,
+            seed=self.seed,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _impossible(self, job: Job) -> bool:
+        """Whether the job's request can never be satisfied on this system."""
+        if job.nodes_required > self._in_service_nodes:
+            return True
+        partition_capacity = self._partition_capacity.get(job.partition)
+        return partition_capacity is not None and job.nodes_required > partition_capacity
+
+    def _dismiss_remaining(self, reason: str) -> None:
+        """Dismiss everything not yet running when the run is cut short."""
+        for job in list(self._pending) + self._queue:
+            job.mark_dismissed()
+            job.metadata["dismiss_reason"] = reason
+            self.stats.record_job(job)
+        self._pending.clear()
+        self._queue.clear()
+
+
+def run_simulation(
+    system: SystemConfig | str = "tiny",
+    *,
+    policy: str | Scheduler | None = None,
+    backfill: str | None = None,
+    duration: str | float = "24h",
+    seed: int = 0,
+    workload: list[Job] | None = None,
+    spec: WorkloadSpec | None = None,
+    horizon: str | float | None = None,
+) -> SimulationResult:
+    """Run one end-to-end simulation and return its result.
+
+    Parameters
+    ----------
+    system:
+        Registered system name (``"tiny"``, ``"frontier"``, ...) or a
+        :class:`SystemConfig`.
+    policy:
+        Scheduling policy name (``replay`` / ``fcfs`` / ``backfill``) or a
+        :class:`Scheduler` instance; defaults to the system's default.
+    backfill:
+        Convenience switch: ``"easy"`` upgrades an ``fcfs`` (or default)
+        policy to EASY backfill.
+    duration:
+        Length of the synthesised workload window (``"6h"``, ``"24h"``,
+        seconds). Ignored when ``workload`` is given.
+    seed:
+        Workload-generation and down-node seed; fixes the whole run.
+    workload:
+        Explicit job list (e.g. from :func:`repro.telemetry.read_swf`);
+        bypasses the synthetic generator.
+    spec:
+        Workload specification for the synthetic generator.
+    horizon:
+        Optional hard stop for the engine (same formats as ``duration``).
+    """
+    config = system if isinstance(system, SystemConfig) else get_system_config(system)
+    if workload is None:
+        if spec is None:
+            spec = default_workload_spec(config)
+        generator = SyntheticWorkloadGenerator(config, spec, seed=seed)
+        workload = generator.generate(parse_duration(duration))
+    policy_name = policy if policy is not None else config.default_policy
+    if backfill is not None:
+        if str(backfill).lower() not in ("easy", "on", "true", "1"):
+            raise SchedulingError(f"unknown backfill mode {backfill!r}; use 'easy'")
+        if isinstance(policy_name, Scheduler):
+            if not isinstance(policy_name, BackfillScheduler):
+                raise SchedulingError(
+                    f"backfill={backfill!r} is incompatible with the "
+                    f"{policy_name.name!r} scheduler instance"
+                )
+        elif policy_name in ("fcfs", "backfill"):
+            policy_name = "backfill"
+        else:
+            raise SchedulingError(
+                f"backfill={backfill!r} is incompatible with policy {policy_name!r}"
+            )
+    engine = SimulationEngine(
+        config,
+        workload,
+        policy_name,
+        seed=seed,
+        horizon_s=parse_duration(horizon) if horizon is not None else None,
+    )
+    return engine.run()

@@ -1,0 +1,242 @@
+"""Simulation statistics: per-tick time series and summary metrics.
+
+The collector is fed once per engine tick with the power sample, the cooling
+plant state (when the system couples one) and the engine's cluster counters,
+plus once per job completion. From these it derives the quantities the paper
+reports: total facility energy, mean/maximum PUE, node-hours delivered, mean
+queue wait and system utilization. Time series export to CSV and the whole
+record (summary + series) to JSON.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..cooling.plant import CoolingPlantState
+from ..power.system_power import SystemPowerSample
+from ..telemetry.job import Job, JobState
+
+__all__ = ["TickSample", "StatsCollector"]
+
+
+@dataclass(frozen=True)
+class TickSample:
+    """Flattened per-tick record of the coupled models."""
+
+    time_s: float
+    compute_power_kw: float
+    loss_power_kw: float
+    cooling_power_kw: float
+    facility_power_kw: float
+    pue: float
+    allocated_nodes: int
+    utilization: float
+    running_jobs: int
+    queued_jobs: int
+    mean_cpu_util: float
+    mean_gpu_util: float
+
+    #: CSV column order (kept in one place for header/row agreement).
+    FIELDS = (
+        "time_s",
+        "compute_power_kw",
+        "loss_power_kw",
+        "cooling_power_kw",
+        "facility_power_kw",
+        "pue",
+        "allocated_nodes",
+        "utilization",
+        "running_jobs",
+        "queued_jobs",
+        "mean_cpu_util",
+        "mean_gpu_util",
+    )
+
+    def row(self) -> list[float]:
+        return [getattr(self, name) for name in self.FIELDS]
+
+
+class StatsCollector:
+    """Accumulates per-tick samples and per-job outcomes for one run."""
+
+    def __init__(self) -> None:
+        self.ticks: list[TickSample] = []
+        self.completed_jobs: list[Job] = []
+        self.dismissed_jobs: list[Job] = []
+        self._energy_kwh = 0.0
+        self._it_energy_kwh = 0.0
+        self._cooling_energy_kwh = 0.0
+        self._utilization_weight = 0.0
+        self._time_weight_s = 0.0
+
+    # -- recording ------------------------------------------------------------
+
+    def record_tick(
+        self,
+        now: float,
+        dt_s: float,
+        power: SystemPowerSample,
+        cooling: CoolingPlantState | None,
+        *,
+        utilization: float,
+        running_jobs: int,
+        queued_jobs: int,
+    ) -> TickSample:
+        """Append one tick worth of coupled-model output.
+
+        ``dt_s`` is the length of the interval the sample stands for; energy
+        integrals treat each sample as constant over its interval (left
+        Riemann sum on the tick grid).
+        """
+        cooling_kw = cooling.cooling_power_kw if cooling is not None else 0.0
+        facility_kw = power.facility_power_kw + cooling_kw
+        if cooling is not None:
+            pue = cooling.pue
+        elif power.compute_power_kw > 0:
+            # No cooling model coupled: PUE floor from conversion losses only.
+            pue = facility_kw / power.compute_power_kw
+        else:
+            pue = 1.0
+        sample = TickSample(
+            time_s=now,
+            compute_power_kw=power.compute_power_kw,
+            loss_power_kw=power.loss_kw,
+            cooling_power_kw=cooling_kw,
+            facility_power_kw=facility_kw,
+            pue=pue,
+            allocated_nodes=power.allocated_nodes,
+            utilization=utilization,
+            running_jobs=running_jobs,
+            queued_jobs=queued_jobs,
+            mean_cpu_util=power.mean_cpu_util,
+            mean_gpu_util=power.mean_gpu_util,
+        )
+        self.ticks.append(sample)
+        hours = dt_s / 3600.0
+        self._energy_kwh += facility_kw * hours
+        self._it_energy_kwh += power.compute_power_kw * hours
+        self._cooling_energy_kwh += cooling_kw * hours
+        self._utilization_weight += sample.utilization * dt_s
+        self._time_weight_s += dt_s
+        return sample
+
+    def record_job(self, job: Job) -> None:
+        """Record a job leaving the system (completed or dismissed)."""
+        if job.state is JobState.COMPLETED:
+            self.completed_jobs.append(job)
+        else:
+            self.dismissed_jobs.append(job)
+
+    # -- derived metrics -------------------------------------------------------
+
+    @property
+    def total_energy_kwh(self) -> float:
+        """Facility energy over the run (IT + losses + cooling), kWh."""
+        return self._energy_kwh
+
+    @property
+    def it_energy_kwh(self) -> float:
+        """IT (compute) energy over the run, kWh."""
+        return self._it_energy_kwh
+
+    @property
+    def elapsed_s(self) -> float:
+        """Simulated span covered by the recorded ticks."""
+        if not self.ticks:
+            return 0.0
+        return self.ticks[-1].time_s - self.ticks[0].time_s
+
+    @property
+    def mean_pue(self) -> float:
+        """Energy-weighted mean PUE (total facility energy / IT energy)."""
+        if self._it_energy_kwh <= 0:
+            return 1.0
+        return self._energy_kwh / self._it_energy_kwh
+
+    @property
+    def max_pue(self) -> float:
+        return max((t.pue for t in self.ticks), default=1.0)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Time-weighted mean node utilization."""
+        if self._time_weight_s <= 0:
+            return 0.0
+        return self._utilization_weight / self._time_weight_s
+
+    @property
+    def node_hours(self) -> float:
+        """Node-hours delivered to completed jobs."""
+        total = 0.0
+        for job in self.completed_jobs:
+            duration = job.sim_duration
+            if duration is not None:
+                total += job.nodes_required * duration / 3600.0
+        return total
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean queue wait of completed jobs, seconds."""
+        waits = [j.wait_time for j in self.completed_jobs if j.wait_time is not None]
+        if not waits:
+            return 0.0
+        return sum(waits) / len(waits)
+
+    @property
+    def max_wait_s(self) -> float:
+        waits = [j.wait_time for j in self.completed_jobs if j.wait_time is not None]
+        return max(waits, default=0.0)
+
+    @property
+    def makespan_s(self) -> float:
+        """Span from first simulated start to last simulated end."""
+        starts = [j.sim_start_time for j in self.completed_jobs if j.sim_start_time is not None]
+        ends = [j.sim_end_time for j in self.completed_jobs if j.sim_end_time is not None]
+        if not starts or not ends:
+            return 0.0
+        return max(ends) - min(starts)
+
+    def summary(self) -> dict[str, float]:
+        """Summary metrics of the run (the numbers ``repro-sim`` prints)."""
+        return {
+            "total_energy_kwh": self.total_energy_kwh,
+            "it_energy_kwh": self.it_energy_kwh,
+            "cooling_energy_kwh": self._cooling_energy_kwh,
+            "mean_pue": self.mean_pue,
+            "max_pue": self.max_pue,
+            "mean_utilization": self.mean_utilization,
+            "node_hours": self.node_hours,
+            "mean_wait_s": self.mean_wait_s,
+            "max_wait_s": self.max_wait_s,
+            "makespan_s": self.makespan_s,
+            "jobs_completed": float(len(self.completed_jobs)),
+            "jobs_dismissed": float(len(self.dismissed_jobs)),
+            "ticks": float(len(self.ticks)),
+            "simulated_s": self.elapsed_s,
+        }
+
+    def timeseries(self) -> dict[str, list[float]]:
+        """Column-oriented view of the per-tick samples."""
+        return {
+            name: [getattr(t, name) for t in self.ticks] for name in TickSample.FIELDS
+        }
+
+    # -- export ----------------------------------------------------------------
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the per-tick time series as CSV."""
+        with open(Path(path), "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(TickSample.FIELDS)
+            for tick in self.ticks:
+                writer.writerow(tick.row())
+
+    def to_json(self, path: str | Path, *, include_timeseries: bool = True) -> None:
+        """Write summary (and optionally the time series) as JSON."""
+        payload: dict[str, object] = {"summary": self.summary()}
+        if include_timeseries:
+            payload["timeseries"] = self.timeseries()
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")

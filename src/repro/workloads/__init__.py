@@ -16,9 +16,10 @@ from .distributions import (
     UserPopulation,
     WaveArrivals,
 )
-from .synthetic import SyntheticWorkloadGenerator, WorkloadSpec
+from .synthetic import SyntheticWorkloadGenerator, WorkloadSpec, default_workload_spec
 
 __all__ = [
+    "default_workload_spec",
     "JobSizeDistribution",
     "PoissonArrivals",
     "RuntimeDistribution",

@@ -76,6 +76,27 @@ class WorkloadSpec:
             raise ConfigurationError("trace_interval_s must be positive")
 
 
+def default_workload_spec(system: SystemConfig) -> WorkloadSpec:
+    """A workload specification scaled to one system.
+
+    The stock :class:`WorkloadSpec` defaults describe a mid-size machine;
+    this helper caps job sizes at the system's node count and scales the
+    arrival rate with system size so the engine's default runs land at a
+    realistic (non-trivial, non-saturated) utilization on anything from the
+    32-node ``tiny`` test system to Fugaku.
+    """
+    max_nodes = max(1, min(512, system.total_nodes // 2 or 1))
+    return WorkloadSpec(
+        sizes=JobSizeDistribution(min_nodes=1, max_nodes=max_nodes),
+        runtimes=RuntimeDistribution(
+            median_s=1800.0, sigma=0.9, min_s=120.0, max_s=4 * 3600.0
+        ),
+        arrivals=WaveArrivals(rate_per_hour=max(6.0, system.total_nodes / 16.0)),
+        trace_interval_s=float(system.trace_quantum_s),
+        generate_power_trace=False,
+    )
+
+
 class SyntheticWorkloadGenerator:
     """Generate a reproducible synthetic workload for a system.
 

@@ -6,9 +6,10 @@ import numpy as np
 import pytest
 
 from repro.config import get_system_config
-from repro.telemetry import Job, Profile, constant_profile
 from repro.workloads import SyntheticWorkloadGenerator, WorkloadSpec
 from repro.workloads.distributions import JobSizeDistribution, RuntimeDistribution, WaveArrivals
+
+from helpers import make_job
 
 
 @pytest.fixture
@@ -18,43 +19,28 @@ def tiny_system():
 
 
 @pytest.fixture
+def two_partition_system(tiny_system):
+    """A 16-node cpu + 8-node gpu system for partition-aware tests."""
+    from repro.config import PartitionConfig, SystemConfig
+
+    node = tiny_system.partitions[0].node_power
+    return SystemConfig(
+        name="twopart",
+        description="two-partition test system",
+        partitions=(
+            PartitionConfig("cpu", 16, node),
+            PartitionConfig("gpu", 8, node),
+        ),
+        timestep_s=15,
+        trace_quantum_s=15,
+        default_policy="fcfs",
+    )
+
+
+@pytest.fixture
 def rng():
     """A deterministic random generator."""
     return np.random.default_rng(42)
-
-
-def make_job(
-    *,
-    nodes: int = 1,
-    submit: float = 0.0,
-    start: float = 0.0,
-    duration: float = 600.0,
-    cpu: float = 0.5,
-    gpu: float = 0.0,
-    mem: float = 0.2,
-    user: str = "user001",
-    account: str = "acct001",
-    priority: float = 0.0,
-    wall_limit: float | None = None,
-    recorded_nodes: tuple[int, ...] = (),
-    node_power: Profile | None = None,
-) -> Job:
-    """Construct a simple job for tests."""
-    return Job(
-        nodes_required=nodes,
-        submit_time=submit,
-        start_time=start,
-        end_time=start + duration,
-        wall_time_limit=wall_limit,
-        user=user,
-        account=account,
-        priority=priority,
-        recorded_nodes=recorded_nodes,
-        cpu_util=constant_profile(cpu, duration),
-        gpu_util=constant_profile(gpu, duration),
-        mem_util=constant_profile(mem, duration),
-        node_power=node_power,
-    )
 
 
 @pytest.fixture

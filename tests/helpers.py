@@ -1,0 +1,48 @@
+"""Shared test helpers, importable absolutely from any test module.
+
+Kept separate from ``conftest.py`` (which pytest reserves for fixtures and
+hooks) so test modules can do ``from helpers import make_job`` without
+relying on package-relative imports.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry import Job, Profile, constant_profile
+
+__all__ = ["make_job"]
+
+
+def make_job(
+    *,
+    nodes: int = 1,
+    submit: float = 0.0,
+    start: float = 0.0,
+    duration: float = 600.0,
+    cpu: float = 0.5,
+    gpu: float = 0.0,
+    mem: float = 0.2,
+    user: str = "user001",
+    account: str = "acct001",
+    priority: float = 0.0,
+    partition: str = "batch",
+    wall_limit: float | None = None,
+    recorded_nodes: tuple[int, ...] = (),
+    node_power: Profile | None = None,
+) -> Job:
+    """Construct a simple job for tests."""
+    return Job(
+        nodes_required=nodes,
+        submit_time=submit,
+        start_time=start,
+        end_time=start + duration,
+        wall_time_limit=wall_limit,
+        user=user,
+        account=account,
+        priority=priority,
+        partition=partition,
+        recorded_nodes=recorded_nodes,
+        cpu_util=constant_profile(cpu, duration),
+        gpu_util=constant_profile(gpu, duration),
+        mem_util=constant_profile(mem, duration),
+        node_power=node_power,
+    )

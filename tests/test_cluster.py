@@ -10,7 +10,7 @@ from repro.cluster import Node, NodeState, ResourceManager
 from repro.config import get_system_config
 from repro.exceptions import AllocationError
 
-from .conftest import make_job
+from helpers import make_job
 
 
 class TestNode:

@@ -1,0 +1,177 @@
+"""End-to-end tests for the simulation engine and run_simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_simulation
+from repro.engine import FCFSScheduler, SimulationEngine, parse_duration
+from repro.exceptions import SchedulingError, SimulationError, SRapsError
+from repro.telemetry import JobState
+
+from helpers import make_job
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            ("3600", 3600.0),
+            (1800, 1800.0),
+            ("90m", 5400.0),
+            ("6h", 21600.0),
+            ("1d", 86400.0),
+            ("30s", 30.0),
+            ("2.5h", 9000.0),
+            # Inherited from the canonical repro.units parser:
+            ("1:30:00", 5400.0),
+            ("2-12:00:00", 216000.0),
+            ("2 weeks", 1209600.0),
+        ],
+    )
+    def test_valid(self, value, expected):
+        assert parse_duration(value) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("value", ["", "h6", "abc", "-5m", "0"])
+    def test_invalid(self, value):
+        # Garbage raises ConfigurationError (from repro.units), non-positive
+        # values SimulationError; both are SRapsError.
+        with pytest.raises(SRapsError):
+            parse_duration(value)
+
+
+class TestEngineSmoke:
+    @pytest.mark.parametrize("policy", ["replay", "fcfs", "backfill"])
+    def test_synthetic_run_completes(self, tiny_system, tiny_workload, policy):
+        engine = SimulationEngine(tiny_system, tiny_workload, policy)
+        result = engine.run()
+        # Every job drains through the system...
+        assert all(j.state is JobState.COMPLETED for j in result.jobs)
+        # ...consuming energy at a plausible PUE.
+        summary = result.summary()
+        assert summary["total_energy_kwh"] > 0
+        assert 1.0 <= summary["mean_pue"] <= 2.0
+        assert 1.0 <= summary["max_pue"] <= 2.0
+        assert 0.0 < summary["mean_utilization"] <= 1.0
+        assert summary["node_hours"] > 0
+
+    def test_engine_does_not_mutate_input_jobs(self, tiny_system, tiny_workload):
+        SimulationEngine(tiny_system, tiny_workload, "fcfs").run()
+        assert all(j.state is JobState.PENDING for j in tiny_workload)
+        assert all(j.sim_start_time is None for j in tiny_workload)
+
+    def test_fixed_seed_is_deterministic(self):
+        a = run_simulation(system="tiny", policy="fcfs", duration="3h", seed=11)
+        b = run_simulation(system="tiny", policy="fcfs", duration="3h", seed=11)
+        assert a.summary() == b.summary()
+
+    def test_releases_happen_before_allocations(self, tiny_system):
+        # Back-to-back full-system jobs: the second can only ever start if
+        # the engine releases the first within the same tick it reallocates.
+        jobs = [
+            make_job(nodes=32, submit=0.0, start=0.0, duration=300.0),
+            make_job(nodes=32, submit=0.0, start=300.0, duration=300.0),
+        ]
+        result = SimulationEngine(tiny_system, jobs, "fcfs").run()
+        assert all(j.state is JobState.COMPLETED for j in result.jobs)
+        first, second = sorted(
+            result.jobs, key=lambda j: j.sim_start_time or 0.0
+        )
+        assert second.sim_start_time == pytest.approx(
+            (first.sim_start_time or 0.0) + 300.0
+        )
+
+    def test_impossible_request_is_dismissed(self, tiny_system):
+        jobs = [
+            make_job(nodes=33, submit=0.0),  # tiny has 32 nodes
+            make_job(nodes=2, submit=0.0),
+        ]
+        result = SimulationEngine(tiny_system, jobs, "fcfs").run()
+        oversize = next(j for j in result.jobs if j.nodes_required == 33)
+        normal = next(j for j in result.jobs if j.nodes_required == 2)
+        assert oversize.state is JobState.DISMISSED
+        assert "capacity" in str(oversize.metadata.get("dismiss_reason"))
+        assert normal.state is JobState.COMPLETED
+
+    def test_horizon_dismisses_leftover_jobs(self, tiny_system):
+        jobs = [
+            make_job(nodes=1, submit=0.0, duration=600.0),
+            make_job(nodes=1, submit=7200.0, start=7200.0, duration=600.0),
+        ]
+        engine = SimulationEngine(tiny_system, jobs, "fcfs", horizon_s=3600.0)
+        result = engine.run()
+        states = sorted(j.state.value for j in result.jobs)
+        assert states == ["completed", "dismissed"]
+
+    def test_horizon_truncates_in_flight_jobs(self, tiny_system):
+        # A job still running at the horizon must not vanish from the
+        # accounting: it is truncated and counted as completed.
+        jobs = [make_job(nodes=2, submit=0.0, duration=86400.0)]
+        result = SimulationEngine(tiny_system, jobs, "fcfs", horizon_s=1800.0).run()
+        job = result.jobs[0]
+        assert job.state is JobState.COMPLETED
+        assert job.metadata.get("truncated_by_horizon") is True
+        assert (job.sim_duration or 0.0) < 86400.0
+        summary = result.summary()
+        assert summary["jobs_completed"] + summary["jobs_dismissed"] == 1.0
+        assert summary["node_hours"] == pytest.approx(2 * (job.sim_duration or 0) / 3600.0)
+
+    def test_replay_long_recorded_wait_does_not_trip_loop_guard(self, tiny_system):
+        # Replay legitimately idles until the recorded start, which can far
+        # exceed the sum-of-runtimes bound a reschedule policy would obey.
+        job = make_job(nodes=1, submit=0.0, start=50000.0, duration=600.0)
+        result = SimulationEngine(tiny_system, [job], "replay").run()
+        assert result.jobs[0].state is JobState.COMPLETED
+        assert result.jobs[0].sim_start_time == pytest.approx(50000.0)
+
+    def test_empty_workload(self, tiny_system):
+        result = SimulationEngine(tiny_system, [], "fcfs").run()
+        assert result.summary()["ticks"] == 0.0
+
+    def test_down_nodes_shrink_capacity(self, tiny_system):
+        system = tiny_system.with_overrides(down_node_fraction=0.25)
+        jobs = [make_job(nodes=32, submit=0.0)]  # no longer fits: 24 up nodes
+        result = SimulationEngine(system, jobs, "fcfs", seed=3).run()
+        assert result.jobs[0].state is JobState.DISMISSED
+
+
+class TestRunSimulation:
+    def test_quickstart_signature(self):
+        # The package docstring's example must keep working.
+        result = run_simulation(
+            system="tiny", policy="fcfs", backfill="easy", duration="2h", seed=1
+        )
+        assert result.policy == "backfill"
+        assert result.stats.summary()["jobs_completed"] > 0
+
+    def test_explicit_workload_bypasses_generator(self, tiny_system):
+        jobs = [make_job(nodes=4, submit=0.0, duration=450.0)]
+        result = run_simulation(system=tiny_system, policy="fcfs", workload=jobs)
+        assert result.summary()["jobs_completed"] == 1.0
+
+    def test_rejects_bad_backfill_combination(self):
+        with pytest.raises(SchedulingError):
+            run_simulation(system="tiny", policy="replay", backfill="easy",
+                           duration="1h")
+
+    def test_rejects_backfill_with_non_backfill_scheduler_instance(self):
+        with pytest.raises(SchedulingError, match="incompatible"):
+            run_simulation(system="tiny", policy=FCFSScheduler(),
+                           backfill="easy", duration="1h")
+
+    def test_cooling_is_coupled_when_configured(self, tiny_system, tiny_workload):
+        result = SimulationEngine(tiny_system, tiny_workload, "fcfs").run()
+        assert result.summary()["cooling_energy_kwh"] > 0
+
+    def test_system_without_cooling_model(self, tiny_workload):
+        from repro.config import get_system_config
+
+        marconi = get_system_config("marconi100")
+        result = run_simulation(
+            system=marconi,
+            policy="fcfs",
+            workload=[make_job(nodes=8, submit=0.0, duration=600.0)],
+        )
+        summary = result.summary()
+        assert summary["cooling_energy_kwh"] == 0.0
+        assert summary["mean_pue"] >= 1.0

@@ -7,7 +7,7 @@ import pytest
 from repro.exceptions import DataLoaderError, SimulationError
 from repro.telemetry import Job, JobState, TraceFlag, constant_profile
 
-from .conftest import make_job
+from helpers import make_job
 
 
 class TestJobConstruction:

@@ -16,7 +16,7 @@ from repro.power import (
 )
 from repro.telemetry import Profile, constant_profile
 
-from .conftest import make_job
+from helpers import make_job
 
 
 class TestNodePowerModel:

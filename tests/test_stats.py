@@ -1,0 +1,136 @@
+"""Tests for the statistics collector and its exports."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.engine import SimulationEngine
+from repro.engine.stats import StatsCollector, TickSample
+
+from helpers import make_job
+
+
+@pytest.fixture
+def finished_run(tiny_system, tiny_workload):
+    return SimulationEngine(tiny_system, tiny_workload, "fcfs").run()
+
+
+class TestDerivedMetrics:
+    def test_energy_is_power_times_time(self, tiny_system):
+        # One 4-node job at constant utilization for exactly 1 hour.
+        jobs = [make_job(nodes=4, submit=0.0, duration=3600.0, cpu=1.0, gpu=1.0, mem=1.0)]
+        result = SimulationEngine(tiny_system, jobs, "fcfs").run()
+        stats = result.stats
+        # Left-Riemann integral of the per-tick facility power.
+        dt_h = tiny_system.timestep_s / 3600.0
+        expected = sum(t.facility_power_kw for t in stats.ticks) * dt_h
+        assert stats.total_energy_kwh == pytest.approx(expected)
+        assert stats.it_energy_kwh <= stats.total_energy_kwh
+
+    def test_mean_pue_is_energy_weighted(self, finished_run):
+        stats = finished_run.stats
+        assert stats.mean_pue == pytest.approx(
+            stats.total_energy_kwh / stats.it_energy_kwh
+        )
+        assert stats.mean_pue <= stats.max_pue
+
+    def test_wait_and_node_hours(self, finished_run):
+        stats = finished_run.stats
+        waits = [j.wait_time for j in stats.completed_jobs]
+        assert stats.mean_wait_s == pytest.approx(sum(waits) / len(waits))
+        assert stats.max_wait_s == pytest.approx(max(waits))
+        assert stats.node_hours == pytest.approx(
+            sum(j.nodes_required * (j.sim_duration or 0.0) for j in stats.completed_jobs)
+            / 3600.0
+        )
+
+    def test_empty_collector_summary(self):
+        summary = StatsCollector().summary()
+        assert summary["total_energy_kwh"] == 0.0
+        assert summary["mean_pue"] == 1.0
+        assert summary["jobs_completed"] == 0.0
+
+
+class TestExports:
+    def test_csv_round_trip(self, finished_run, tmp_path):
+        path = tmp_path / "timeseries.csv"
+        finished_run.stats.to_csv(path)
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == list(TickSample.FIELDS)
+        assert len(rows) - 1 == len(finished_run.stats.ticks)
+        first = dict(zip(rows[0], map(float, rows[1])))
+        assert first["time_s"] == finished_run.stats.ticks[0].time_s
+        assert first["facility_power_kw"] == pytest.approx(
+            finished_run.stats.ticks[0].facility_power_kw
+        )
+
+    def test_json_round_trip(self, finished_run, tmp_path):
+        path = tmp_path / "run.json"
+        finished_run.stats.to_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["summary"] == finished_run.summary()
+        series = payload["timeseries"]
+        assert set(series) == set(TickSample.FIELDS)
+        assert len(series["pue"]) == len(finished_run.stats.ticks)
+
+    def test_json_summary_only(self, finished_run, tmp_path):
+        path = tmp_path / "summary.json"
+        finished_run.stats.to_json(path, include_timeseries=False)
+        assert "timeseries" not in json.loads(path.read_text())
+
+
+class TestCLI:
+    def test_cli_end_to_end(self, capsys, tmp_path):
+        from repro.engine.cli import main
+
+        csv_path = tmp_path / "ts.csv"
+        json_path = tmp_path / "run.json"
+        code = main(
+            [
+                "--system", "tiny",
+                "--mode", "backfill",
+                "--duration", "2h",
+                "--seed", "1",
+                "--csv", str(csv_path),
+                "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean PUE" in out
+        assert "total energy" in out
+        assert "mean wait" in out
+        assert csv_path.exists() and json_path.exists()
+
+    def test_cli_list_systems(self, capsys):
+        from repro.engine.cli import main
+
+        assert main(["--list-systems"]) == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out and "tiny" in out
+
+    def test_cli_rejects_unknown_system(self, capsys):
+        from repro.engine.cli import main
+
+        assert main(["--system", "doesnotexist", "--duration", "1h"]) == 1
+        assert "unknown system" in capsys.readouterr().err
+
+    def test_cli_swf_workload(self, tmp_path, capsys):
+        from repro.engine.cli import main
+        from repro.telemetry import jobs_to_swf
+
+        jobs = [
+            make_job(nodes=2, submit=0.0, start=60.0, duration=600.0, wall_limit=900.0),
+            make_job(nodes=4, submit=120.0, start=300.0, duration=1200.0, wall_limit=1800.0),
+        ]
+        swf_path = tmp_path / "workload.swf"
+        swf_path.write_text(jobs_to_swf(jobs))
+        code = main(
+            ["--system", "tiny", "--mode", "fcfs", "--swf", str(swf_path)]
+        )
+        assert code == 0
+        assert "jobs completed    2" in capsys.readouterr().out

@@ -7,7 +7,7 @@ import pytest
 from repro.exceptions import DataLoaderError
 from repro.telemetry import jobs_to_swf, parse_swf, read_swf, write_swf
 
-from .conftest import make_job
+from helpers import make_job
 
 SAMPLE_SWF = """\
 ; Header comment
