@@ -1,28 +1,221 @@
 #!/usr/bin/env python
-"""Benchmark the simulation engine on a fixed-seed 24h window.
+"""Benchmark the simulation engine and guard its summary metrics.
 
-Times an end-to-end run (workload synthesis excluded) and writes the numbers
-to ``BENCH_engine.json`` in the repository root, seeding the performance
-trajectory that later optimisation PRs measure against.
+Two fixed-seed benchmarks are timed (workload synthesis excluded) and the
+numbers written to ``BENCH_engine.json`` in the repository root:
+
+``engine_24h_window``
+    The historical end-to-end benchmark: a busy 24 h synthetic window under
+    EASY backfill, run through the default (event-driven) engine.
+
+``engine_idle_heavy_3d``
+    A sparse 3-day window (rare, short, constant-power jobs) run twice —
+    dense ticks vs event-driven — demonstrating the step reduction the
+    event-driven engine gets from coalescing idle time.
+
+The script doubles as the CI metrics gate: ``--golden PATH`` compares the
+24 h run's summary against a committed golden record and exits non-zero on
+drift beyond 1e-6 relative tolerance; ``--write-golden PATH`` refreshes the
+record after an intentional semantic change.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_engine.py [--system tiny] [--policy backfill]
+    PYTHONPATH=src python scripts/bench_engine.py [--system tiny] \
+        [--golden tests/golden/engine_summary_tiny_seed42.json]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import platform
+import sys
 import time
 from pathlib import Path
 
 from repro.config import get_system_config
 from repro.engine import SimulationEngine, parse_duration
-from repro.workloads import SyntheticWorkloadGenerator, default_workload_spec
+from repro.engine.stats import json_safe
+from repro.workloads import (
+    SyntheticWorkloadGenerator,
+    WorkloadSpec,
+    default_workload_spec,
+)
+from repro.workloads.distributions import (
+    JobSizeDistribution,
+    RuntimeDistribution,
+    WaveArrivals,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Relative tolerance for the golden-summary drift check.
+GOLDEN_RTOL = 1e-6
+
+
+def idle_heavy_spec() -> WorkloadSpec:
+    """A sparse workload: short constant-power jobs separated by idle hours."""
+    return WorkloadSpec(
+        sizes=JobSizeDistribution(min_nodes=1, max_nodes=8),
+        runtimes=RuntimeDistribution(
+            median_s=1200.0, sigma=0.6, min_s=300.0, max_s=3600.0
+        ),
+        arrivals=WaveArrivals(rate_per_hour=0.3, amplitude=0.3),
+        trace_interval_s=None,  # scalar telemetry -> constant power per job
+        generate_power_trace=False,
+    )
+
+
+def _timed_run(system, workload, policy, seed, *, dense_ticks=False):
+    engine = SimulationEngine(
+        system, workload, policy, seed=seed, dense_ticks=dense_ticks
+    )
+    started = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - started
+    summary = result.summary()
+    return summary, {
+        "wall_s": elapsed,
+        "steps": summary["ticks"],
+        "steps_per_s": summary["ticks"] / elapsed if elapsed > 0 else 0.0,
+        "simulated_s": summary["simulated_s"],
+        "speedup_vs_realtime": summary["simulated_s"] / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def bench_24h_window(args, system):
+    duration_s = parse_duration(args.duration)
+    generator = SyntheticWorkloadGenerator(
+        system, default_workload_spec(system), seed=args.seed
+    )
+    workload = generator.generate(duration_s)
+
+    summary = None
+    runs = []
+    for _ in range(args.repeats):
+        summary, run = _timed_run(system, workload, args.policy, args.seed)
+        runs.append(run)
+    best = min(runs, key=lambda r: r["wall_s"])
+    record = {
+        "benchmark": "engine_24h_window",
+        "system": system.name,
+        "policy": args.policy,
+        "mode": "event-driven",
+        "duration": args.duration,
+        "seed": args.seed,
+        "jobs": len(workload),
+        "repeats": args.repeats,
+        "best": best,
+        "runs": runs,
+    }
+    print(
+        f"{system.name}/{args.policy}: {len(workload)} jobs, "
+        f"{best['steps']:.0f} steps in {best['wall_s']:.3f}s "
+        f"({best['speedup_vs_realtime']:.0f}x realtime)"
+    )
+    return record, summary
+
+
+def bench_idle_heavy(args, system):
+    duration_s = parse_duration(args.idle_duration)
+    generator = SyntheticWorkloadGenerator(system, idle_heavy_spec(), seed=args.seed)
+    workload = generator.generate(duration_s)
+
+    dense_summary, dense = _timed_run(
+        system, workload, args.policy, args.seed, dense_ticks=True
+    )
+    event_summary, event = _timed_run(system, workload, args.policy, args.seed)
+
+    drift = _summary_drift(event_summary, dense_summary)
+    step_reduction = dense["steps"] / event["steps"] if event["steps"] else math.inf
+    record = {
+        "benchmark": "engine_idle_heavy_3d",
+        "system": system.name,
+        "policy": args.policy,
+        "duration": args.idle_duration,
+        "seed": args.seed,
+        "jobs": len(workload),
+        "dense": dense,
+        "event_driven": event,
+        "step_reduction": step_reduction,
+        "wall_speedup": dense["wall_s"] / event["wall_s"] if event["wall_s"] else math.inf,
+        "max_summary_drift_rel": drift,
+    }
+    print(
+        f"idle-heavy: {len(workload)} jobs over {args.idle_duration}, "
+        f"{dense['steps']:.0f} dense steps -> {event['steps']:.0f} event steps "
+        f"({step_reduction:.0f}x fewer, {record['wall_speedup']:.1f}x faster wall, "
+        f"summary drift {drift:.2e})"
+    )
+    return record
+
+
+def _is_finite_number(value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def _summary_drifts(candidate: dict, reference: dict) -> dict[str, float]:
+    """Per-metric relative deviation between two summaries (``ticks`` excluded).
+
+    Non-finite values — inf/nan in-process, ``null`` once a record has been
+    round-tripped through strict JSON, or a missing metric — compare as one
+    sentinel bucket: no drift against each other, full drift (``inf``)
+    against any finite value. The naive ratio would be nan for those cases
+    and slip silently past any threshold.
+    """
+    drifts = {}
+    for key, ref in reference.items():
+        if key == "ticks":
+            continue
+        got = candidate.get(key)
+        if _is_finite_number(ref) and _is_finite_number(got):
+            if ref == got:
+                drifts[key] = 0.0
+            else:
+                drifts[key] = abs(got - ref) / max(abs(ref), abs(got), 1e-12)
+        elif _is_finite_number(ref) or _is_finite_number(got):
+            drifts[key] = math.inf
+        else:
+            drifts[key] = 0.0
+    # Symmetric check: a metric newly added to the candidate is a semantic
+    # change too and must force a golden refresh, not pass silently.
+    for key in candidate:
+        if key != "ticks" and key not in reference:
+            drifts[key] = math.inf
+    return drifts
+
+
+def _summary_drift(candidate: dict, reference: dict) -> float:
+    """Largest relative deviation between two summaries (``ticks`` excluded)."""
+    return max(_summary_drifts(candidate, reference).values(), default=0.0)
+
+
+def check_golden(summary: dict, golden_path: Path) -> int:
+    """Compare the benchmark summary against the committed golden record."""
+    golden = json.loads(golden_path.read_text())
+    reference = golden["summary"]
+    failures = [
+        f"{key}: golden {reference.get(key)!r} vs run {summary.get(key)!r}"
+        for key, drift in _summary_drifts(summary, reference).items()
+        if drift > GOLDEN_RTOL
+    ]
+    if failures:
+        print("golden summary drift detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(
+            f"(golden record: {golden_path}; regenerate with --write-golden "
+            "only for intentional semantic changes)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"golden summary check passed ({golden_path})")
+    return 0
 
 
 def main() -> int:
@@ -30,61 +223,55 @@ def main() -> int:
     parser.add_argument("--system", default="tiny")
     parser.add_argument("--policy", default="backfill")
     parser.add_argument("--duration", default="24h")
+    parser.add_argument("--idle-duration", default="3d")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_engine.json"),
         help="where to write the benchmark record",
     )
+    parser.add_argument(
+        "--golden", metavar="PATH", default=None,
+        help="fail if the 24h run's summary drifts from this golden record",
+    )
+    parser.add_argument(
+        "--write-golden", metavar="PATH", default=None,
+        help="write the 24h run's summary as the new golden record",
+    )
     args = parser.parse_args()
 
     system = get_system_config(args.system)
-    duration_s = parse_duration(args.duration)
-    generator = SyntheticWorkloadGenerator(
-        system, default_workload_spec(system), seed=args.seed
-    )
-    workload = generator.generate(duration_s)
+    window_record, window_summary = bench_24h_window(args, system)
+    idle_record = bench_idle_heavy(args, system)
 
-    runs = []
-    for _ in range(args.repeats):
-        engine = SimulationEngine(system, workload, args.policy, seed=args.seed)
-        started = time.perf_counter()
-        result = engine.run()
-        elapsed = time.perf_counter() - started
-        summary = result.summary()
-        runs.append(
-            {
-                "wall_s": elapsed,
-                "ticks": summary["ticks"],
-                "ticks_per_s": summary["ticks"] / elapsed if elapsed > 0 else 0.0,
-                "simulated_s": summary["simulated_s"],
-                "speedup_vs_realtime": summary["simulated_s"] / elapsed
-                if elapsed > 0
-                else 0.0,
-            }
+    record = dict(window_record)
+    record["idle_heavy"] = idle_record
+    record["python"] = platform.python_version()
+    record["machine"] = platform.machine()
+    # Same strict-JSON convention as StatsCollector.to_json: non-finite
+    # values (inf step_reduction on an empty event run, inf mean_pue on an
+    # all-idle window) export as null, never as a bare Infinity token.
+    Path(args.output).write_text(
+        json.dumps(json_safe(record), indent=2, allow_nan=False) + "\n"
+    )
+    print(f"-> {args.output}")
+
+    if args.write_golden:
+        payload = {
+            "benchmark": window_record["benchmark"],
+            "system": system.name,
+            "policy": args.policy,
+            "duration": args.duration,
+            "seed": args.seed,
+            "rtol": GOLDEN_RTOL,
+            "summary": window_summary,
+        }
+        Path(args.write_golden).write_text(
+            json.dumps(json_safe(payload), indent=2, allow_nan=False) + "\n"
         )
-
-    best = min(runs, key=lambda r: r["wall_s"])
-    record = {
-        "benchmark": "engine_24h_window",
-        "system": system.name,
-        "policy": args.policy,
-        "duration": args.duration,
-        "seed": args.seed,
-        "jobs": len(workload),
-        "repeats": args.repeats,
-        "best": best,
-        "runs": runs,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
-    print(
-        f"{system.name}/{args.policy}: {len(workload)} jobs, "
-        f"{best['ticks']:.0f} ticks in {best['wall_s']:.3f}s "
-        f"({best['ticks_per_s']:.0f} ticks/s, "
-        f"{best['speedup_vs_realtime']:.0f}x realtime) -> {args.output}"
-    )
+        print(f"golden record written -> {args.write_golden}")
+    if args.golden:
+        return check_golden(window_summary, Path(args.golden))
     return 0
 
 

@@ -133,8 +133,15 @@ class CoolingConfig:
     crac_cop: float = 3.5
 
     def __post_init__(self) -> None:
-        if self.cdu_count <= 0:
-            raise ConfigurationError("cdu_count must be positive")
+        # cdu_count == 0 is a valid fully air-cooled plant (all heat goes
+        # through the CRAC/facility path) — but only with nothing routed to
+        # the then-nonexistent liquid loop.
+        if self.cdu_count < 0:
+            raise ConfigurationError("cdu_count must be non-negative")
+        if self.cdu_count == 0 and self.air_cooled_fraction != 1.0:
+            raise ConfigurationError(
+                "cdu_count == 0 (no liquid loop) requires air_cooled_fraction == 1.0"
+            )
         if self.secondary_flow_kg_per_s_per_cdu <= 0 or self.facility_flow_kg_per_s <= 0:
             raise ConfigurationError("flow rates must be positive")
         if not 0.0 <= self.air_cooled_fraction <= 1.0:

@@ -9,7 +9,14 @@ of the load — CRAC compressor power) and power usage effectiveness
 
 The paper's Frontier twin reports an average PUE around 1.06; the defaults
 here land in that neighbourhood at high load and rise at low load, which is
-the qualitative behaviour the what-if studies rely on.
+the qualitative behaviour the what-if studies rely on. At exactly zero IT
+power the ratio is unbounded: the plant reports PUE = ``float("inf")`` when
+any overhead (loss or cooling) power remains, and 1.0 only when the whole
+facility is drawing nothing. Fully air-cooled plants (``cdu_count == 0``,
+which :class:`~repro.config.CoolingConfig` requires to come with
+``air_cooled_fraction == 1.0``) are supported: all heat is removed by the
+CRACs on the facility loop and the CDU return temperature is reported at
+the nominal supply setpoint.
 """
 
 from __future__ import annotations
@@ -80,17 +87,21 @@ class CoolingPlant:
         loss_power_kw = max(0.0, loss_power_kw)
         total_heat_kw = it_power_kw + loss_power_kw
 
+        # A fully air-cooled plant (cdu_count == 0) is forced to
+        # air_cooled_fraction == 1.0 by CoolingConfig validation, so the
+        # liquid share is zero exactly when there are no CDUs to take it.
         liquid_heat_kw = total_heat_kw * (1.0 - self.config.air_cooled_fraction)
         air_heat_kw = total_heat_kw * self.config.air_cooled_fraction
 
         # Secondary loops: split the liquid-cooled heat evenly across CDUs.
-        per_cdu_heat = liquid_heat_kw / len(self.cdus)
         cdu_returns = []
         heat_to_facility_kw = 0.0
-        for cdu in self.cdus:
-            state = cdu.step(per_cdu_heat, dt_s)
-            cdu_returns.append(state.return_temperature_c)
-            heat_to_facility_kw += cdu.heat_to_facility_kw()
+        if self.cdus:
+            per_cdu_heat = liquid_heat_kw / len(self.cdus)
+            for cdu in self.cdus:
+                state = cdu.step(per_cdu_heat, dt_s)
+                cdu_returns.append(state.return_temperature_c)
+                heat_to_facility_kw += cdu.heat_to_facility_kw()
 
         # Air-cooled heat is removed by CRACs, whose condenser heat also ends
         # up on the facility loop.
@@ -102,8 +113,14 @@ class CoolingPlant:
         pump_power_kw = self.config.pump_power_fraction * total_heat_kw
         cooling_power_kw = pump_power_kw + tower_state.fan_power_kw + crac_power_kw
 
+        overhead_kw = loss_power_kw + cooling_power_kw
         if it_power_kw > 0:
-            pue = (it_power_kw + loss_power_kw + cooling_power_kw) / it_power_kw
+            pue = (it_power_kw + overhead_kw) / it_power_kw
+        elif overhead_kw > 0:
+            # Overhead power with zero IT power: PUE is unbounded. Report
+            # inf rather than the 1.0 floor, which would silently understate
+            # idle overhead in any downstream aggregate.
+            pue = float("inf")
         else:
             pue = 1.0
 
@@ -113,7 +130,13 @@ class CoolingPlant:
             loss_power_kw=loss_power_kw,
             cooling_power_kw=cooling_power_kw,
             pue=pue,
-            cdu_return_temperature_c=sum(cdu_returns) / len(cdu_returns),
+            # With no CDUs the secondary loop does not exist; report the
+            # nominal supply temperature rather than dividing by zero.
+            cdu_return_temperature_c=(
+                sum(cdu_returns) / len(cdu_returns)
+                if cdu_returns
+                else self.config.supply_temperature_c
+            ),
             tower_return_temperature_c=tower_state.return_temperature_c,
             tower_supply_temperature_c=tower_state.supply_temperature_c,
         )

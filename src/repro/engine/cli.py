@@ -100,6 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard stop for the simulation clock, e.g. 48h (default: run to drain)",
     )
     parser.add_argument(
+        "--dense-ticks",
+        action="store_true",
+        help=(
+            "record one sample per timestep instead of coalescing event-free "
+            "intervals (exact per-tick time series; summary metrics are "
+            "identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--csv", metavar="PATH", default=None, help="export per-tick time series as CSV"
     )
     parser.add_argument(
@@ -149,6 +158,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             workload=workload,
             horizon=args.horizon,
+            dense_ticks=args.dense_ticks,
         )
     except (SRapsError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

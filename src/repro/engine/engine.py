@@ -1,12 +1,25 @@
 """The discrete-time simulation engine.
 
 :class:`SimulationEngine` advances a copy of the workload through the coupled
-scheduler → resource-manager → power → cooling pipeline in fixed
-``SystemConfig.timestep_s`` ticks. Releases are processed before submissions
-and scheduling within a tick, which resolves the paper's same-timestep
-end/start collision on a node; replay decisions may backdate a job's start to
-its recorded (possibly off-grid) start time so the simulated schedule matches
-the telemetry exactly.
+scheduler → resource-manager → power → cooling pipeline on a fixed
+``SystemConfig.timestep_s`` tick grid. Releases are processed before
+submissions and scheduling within a tick, which resolves the paper's
+same-timestep end/start collision on a node; replay decisions may backdate a
+job's start to its recorded (possibly off-grid) start time so the simulated
+schedule matches the telemetry exactly.
+
+Time advancement is *event-driven* by default: when nothing can change
+before the next event — no pending submission, no running-job end, no
+backdated replay start, no horizon, and a scheduling policy that declares
+itself quiescent via :meth:`Scheduler.next_event_hint` — the engine jumps
+straight to the grid tick that first processes the next event, recording one
+aggregated :class:`~repro.engine.stats.TickSample` whose ``dt_s`` spans the
+coalesced interval. Because power and cooling overhead are constant over
+such an interval (the cooling loops relax exponentially towards a constant
+target, which composes exactly across substeps), every summary metric is
+identical to a dense tick-by-tick run up to floating-point associativity.
+Pass ``dense_ticks=True`` (CLI: ``--dense-ticks``) to force one sample per
+grid tick when an exact per-tick time series is needed.
 
 :func:`run_simulation` is the one-call entry point used by the CLI, the
 benchmark harness and the quick-start example: it resolves the system
@@ -16,6 +29,7 @@ the engine to completion.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -90,7 +104,14 @@ class SimulationEngine:
         Seed forwarded to the resource manager's down-node draw.
     horizon_s:
         Optional hard stop (relative to the first tick). Jobs still pending
-        or queued at the horizon are dismissed.
+        or queued at the horizon are dismissed; jobs still on nodes are
+        truncated at exactly ``start + horizon_s`` (not the next tick
+        boundary), so no runtime or energy past the horizon is credited.
+    dense_ticks:
+        Force one statistics sample per ``timestep_s`` grid tick instead of
+        coalescing event-free intervals. Summary metrics are identical
+        either way; dense mode exists for consumers of the exact per-tick
+        time series.
     """
 
     def __init__(
@@ -101,6 +122,7 @@ class SimulationEngine:
         *,
         seed: int = 0,
         horizon_s: float | None = None,
+        dense_ticks: bool = False,
     ) -> None:
         self.system = system
         if isinstance(scheduler, Scheduler):
@@ -116,6 +138,9 @@ class SimulationEngine:
         self.stats = StatsCollector()
         self.seed = seed
         self.horizon_s = horizon_s
+        self.dense_ticks = dense_ticks
+        #: Per-job cache of "power is time-invariant while running" checks.
+        self._constant_power: dict[int, bool] = {}
 
         self.jobs = [job.copy_for_simulation() for job in jobs]
         self._pending: deque[Job] = deque(
@@ -174,7 +199,12 @@ class SimulationEngine:
     # -- engine loop -----------------------------------------------------------
 
     def step(self) -> None:
-        """Advance one tick: release, submit, schedule, power, cooling, stats."""
+        """Advance one step: release, submit, schedule, power, cooling, stats.
+
+        A step normally covers one ``timestep_s`` tick; in event-driven mode
+        (the default) it may cover many grid ticks at once when nothing can
+        change before the next event — see :meth:`_coalesced_dt`.
+        """
         now = self.now
         timestep = float(self.system.timestep_s)
 
@@ -223,11 +253,27 @@ class SimulationEngine:
             if started:
                 self._queue = [j for j in self._queue if j.job_id not in started]
 
+        # (3b) Event-driven coalescing: how much simulated time this sample
+        # stands for. Stays one tick in dense mode or whenever anything can
+        # change before the next event.
+        running = self.resource_manager.running_jobs
+        if self.dense_ticks:
+            dt_s = timestep
+        else:
+            dt_s = self._coalesced_dt(now, timestep, running)
+        # A sample never extends past the horizon: the run is cut there, so
+        # integrating energy (or stepping the cooling plant) over the rest
+        # of the tick would credit time the window never contained. Applies
+        # identically in dense and event-driven mode, keeping them equal.
+        if self.horizon_s is not None:
+            horizon_end = self._start_time + self.horizon_s
+            if now < horizon_end < now + dt_s:
+                dt_s = horizon_end - now
+
         # (4) Power on the running set, (5) cooling on the resulting heat.
         # Node counts are derived from the running set and the (immutable
         # after the seed draw) down count rather than re-scanning the node
         # inventory, keeping the tick O(running jobs) on large systems.
-        running = self.resource_manager.running_jobs
         allocated = sum(job.nodes_required for job in running)
         down = self.resource_manager.total_nodes - self._in_service_nodes
         power = self.power_model.sample(
@@ -236,13 +282,13 @@ class SimulationEngine:
         cooling = None
         if self.cooling_plant is not None:
             cooling = self.cooling_plant.step(
-                now, power.compute_power_kw, power.loss_kw, timestep
+                now, power.compute_power_kw, power.loss_kw, dt_s
             )
 
         # (6) Statistics.
         self.stats.record_tick(
             now,
-            timestep,
+            dt_s,
             power,
             cooling,
             utilization=(
@@ -251,7 +297,7 @@ class SimulationEngine:
             running_jobs=len(running),
             queued_jobs=len(self._queue),
         )
-        self.now = now + timestep
+        self.now = now + dt_s
 
     def run(self) -> SimulationResult:
         """Run to completion (all jobs finished, or the horizon reached)."""
@@ -261,10 +307,23 @@ class SimulationEngine:
                 self._dismiss_remaining("simulation horizon reached")
                 # Jobs still on nodes are truncated at the horizon so every
                 # job ends the run completed or dismissed (their partial
-                # node-hours and waits stay in the statistics).
+                # node-hours and waits stay in the statistics). The release
+                # time is the horizon itself, not ``self.now``: the clock
+                # sits on the first tick boundary at or past the horizon,
+                # which for a non-grid-aligned horizon would credit runtime
+                # and node-hours the window never contained. A job whose
+                # natural end falls inside that final partial tick ends at
+                # its own end time and is not flagged as truncated.
+                horizon_end = self._start_time + self.horizon_s
                 for job in self.resource_manager.running_jobs:
-                    job.metadata["truncated_by_horizon"] = True
-                    self.resource_manager.release(job, self.now)
+                    start = (
+                        job.sim_start_time if job.sim_start_time is not None else self.now
+                    )
+                    natural_end = start + job.duration
+                    end = min(self.now, horizon_end, natural_end)
+                    if end < natural_end:
+                        job.metadata["truncated_by_horizon"] = True
+                    self.resource_manager.release(job, end)
                     self.stats.record_job(job)
                 break
             if ticks >= self._max_ticks:
@@ -283,6 +342,69 @@ class SimulationEngine:
             end_time_s=self.now,
             seed=self.seed,
         )
+
+    # -- event-driven time advancement -----------------------------------------
+
+    def _coalesced_dt(self, now: float, timestep: float, running: list[Job]) -> float:
+        """Simulated time the current sample may stand for (a tick multiple).
+
+        The engine may jump over grid ticks on which a dense run would
+        provably do nothing: no release (all running ends lie at or past the
+        next event), no submission (first pending submit likewise), no
+        policy action (the scheduler's :meth:`~Scheduler.next_event_hint`
+        either vetoes, names a future time, or declares itself quiescent)
+        and no horizon crossing. Running jobs additionally must draw
+        constant power, otherwise the per-tick power samples of a dense run
+        would differ and the energy integral with them.
+
+        Returns ``k * timestep`` where ``now + k * timestep`` is the first
+        grid tick that processes the next event — exactly the tick a dense
+        run would next act on.
+        """
+        hint = self.scheduler.next_event_hint(tuple(self._queue), now)
+        if hint is not None and hint <= now:
+            return timestep
+        events: list[float] = []
+        if hint is not None:
+            events.append(hint)
+        if self._pending:
+            events.append(self._pending[0].submit_time)
+        for job in running:
+            if not self._has_constant_power(job):
+                return timestep
+            start = job.sim_start_time if job.sim_start_time is not None else now
+            events.append(start + job.duration)
+        if not events:
+            # Nothing queued, pending or running: this is the final sample
+            # and the run ends at the next tick — jumping to a far-away
+            # horizon here would pad the record with idle time a dense run
+            # never integrates.
+            return timestep
+        if self.horizon_s is not None:
+            events.append(self._start_time + self.horizon_s)
+        t_next = min(events)
+        k = int(math.ceil((t_next - now) / timestep))
+        # Guard against float overshoot: every skipped grid tick must fall
+        # strictly before the next event, or a dense run would have acted
+        # on it first. (Undershoot is harmless — it merely records an extra
+        # identical sample.)
+        while k > 1 and now + (k - 1) * timestep >= t_next:
+            k -= 1
+        return max(1, k) * timestep
+
+    def _has_constant_power(self, job: Job) -> bool:
+        """Whether the job's power/utilization is time-invariant while running."""
+        cached = self._constant_power.get(job.job_id)
+        if cached is None:
+            cached = all(
+                profile.maximum() == profile.minimum()
+                for profile in (job.cpu_util, job.gpu_util, job.mem_util)
+            ) and (
+                job.node_power is None
+                or job.node_power.maximum() == job.node_power.minimum()
+            )
+            self._constant_power[job.job_id] = cached
+        return cached
 
     # -- helpers ---------------------------------------------------------------
 
@@ -313,6 +435,7 @@ def run_simulation(
     workload: list[Job] | None = None,
     spec: WorkloadSpec | None = None,
     horizon: str | float | None = None,
+    dense_ticks: bool = False,
 ) -> SimulationResult:
     """Run one end-to-end simulation and return its result.
 
@@ -339,6 +462,9 @@ def run_simulation(
         Workload specification for the synthetic generator.
     horizon:
         Optional hard stop for the engine (same formats as ``duration``).
+    dense_ticks:
+        Force one statistics sample per grid tick instead of event-driven
+        coalescing. Summary metrics are identical either way.
     """
     config = system if isinstance(system, SystemConfig) else get_system_config(system)
     if workload is None:
@@ -368,5 +494,6 @@ def run_simulation(
         policy_name,
         seed=seed,
         horizon_s=parse_duration(horizon) if horizon is not None else None,
+        dense_ticks=dense_ticks,
     )
     return engine.run()

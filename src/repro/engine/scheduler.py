@@ -103,6 +103,26 @@ class Scheduler(abc.ABC):
     def reset(self) -> None:
         """Clear per-run state. The default implementation is a no-op."""
 
+    def next_event_hint(self, queue: Sequence[Job], now: float) -> float | None:
+        """Earliest future time this policy might start a job spontaneously.
+
+        The engine uses this for event-driven time advancement: between
+        ``now`` and the earliest of (next submission, next running-job end,
+        this hint, the horizon) the simulation state cannot change, so the
+        engine may coalesce the intervening no-op ticks into one sample.
+
+        Return ``None`` when the policy only ever acts in response to a
+        submission or a release (both of which the engine tracks as events
+        of their own); return a time ``<= now`` to veto coalescing
+        entirely. The engine calls this *after* :meth:`schedule` within a
+        tick, so the queue contains only jobs the policy just declined to
+        start.
+
+        The default is conservative: a non-empty queue vetoes coalescing,
+        an empty queue allows it freely.
+        """
+        return now if queue else None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -209,6 +229,25 @@ class ReplayScheduler(Scheduler):
             return now
         return job.start_time
 
+    def next_event_hint(self, queue: Sequence[Job], now: float) -> float | None:
+        """The earliest backdated (recorded) start still ahead of ``now``.
+
+        Queued jobs whose recorded start lies in the future are pure timer
+        events; jobs already due can only have been left in the queue
+        because their placement failed this tick (they are in
+        ``_delayed``), and a failed placement can only succeed after a
+        release — which the engine tracks as an event of its own. A due
+        job that has *not* been attempted yet (``schedule`` not called)
+        vetoes coalescing.
+        """
+        hint: float | None = None
+        for job in queue:
+            if job.start_time > now:
+                hint = job.start_time if hint is None else min(hint, job.start_time)
+            elif job.job_id not in self._delayed:
+                return now
+        return hint
+
 
 class FCFSScheduler(Scheduler):
     """Strict first-come-first-served.
@@ -231,6 +270,16 @@ class FCFSScheduler(Scheduler):
             free_counts.consume(job)
             decisions.append(SchedulingDecision(job))
         return decisions
+
+    def next_event_hint(self, queue: Sequence[Job], now: float) -> float | None:
+        """FCFS never acts spontaneously.
+
+        Whether the queue head fits depends only on the free-node counts,
+        which change exclusively on releases (and the queue itself only on
+        submissions) — both tracked by the engine as events. Blocked now
+        means blocked until the next event, so coalescing is always safe.
+        """
+        return None
 
 
 class BackfillScheduler(Scheduler):
@@ -299,6 +348,20 @@ class BackfillScheduler(Scheduler):
                 spare_nodes -= job.nodes_required
             decisions.append(SchedulingDecision(job))
         return decisions
+
+    def next_event_hint(self, queue: Sequence[Job], now: float) -> float | None:
+        """EASY backfill never acts spontaneously between events.
+
+        With the running set and the queue frozen, the free-node counts and
+        the reservation's ``spare_nodes`` are constant; the only
+        now-dependent quantity is the shadow time ``max(now, end_k)``, and
+        the backfill condition ``now + requested_runtime <= shadow_time``
+        can only flip from true to false as ``now`` advances (or stays
+        constant in the overrun case ``shadow == now``). A job declined
+        this tick therefore stays declined until the next submission or
+        release, so coalescing is always safe.
+        """
+        return None
 
     @staticmethod
     def _occupants(

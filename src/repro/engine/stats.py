@@ -1,17 +1,29 @@
 """Simulation statistics: per-tick time series and summary metrics.
 
-The collector is fed once per engine tick with the power sample, the cooling
+The collector is fed once per engine step with the power sample, the cooling
 plant state (when the system couples one) and the engine's cluster counters,
 plus once per job completion. From these it derives the quantities the paper
 reports: total facility energy, mean/maximum PUE, node-hours delivered, mean
 queue wait and system utilization. Time series export to CSV and the whole
 record (summary + series) to JSON.
+
+Samples are *interval-aware*: each :class:`TickSample` carries the length
+``dt_s`` of the interval it stands for, so the event-driven engine can
+coalesce an event-free stretch into one sample without changing any energy
+or time-weighted metric. All summary invariants hold regardless of how time
+was discretised: ``total_energy_kwh == Σ facility_power_kw · dt_s / 3600``,
+``mean_pue == total_energy_kwh / it_energy_kwh``, ``elapsed_s == Σ dt_s``.
+
+PUE at zero IT power is reported as ``float("inf")`` (overhead power with
+nothing to attribute it to), never as the flattering 1.0 floor; such ticks
+are excluded from :attr:`StatsCollector.max_pue`.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -19,14 +31,21 @@ from ..cooling.plant import CoolingPlantState
 from ..power.system_power import SystemPowerSample
 from ..telemetry.job import Job, JobState
 
-__all__ = ["TickSample", "StatsCollector"]
+__all__ = ["TickSample", "StatsCollector", "json_safe"]
 
 
 @dataclass(frozen=True)
 class TickSample:
-    """Flattened per-tick record of the coupled models."""
+    """Flattened record of the coupled models over one sampled interval.
+
+    The sample stands for the half-open interval ``[time_s, time_s + dt_s)``
+    with every quantity held constant over it. A dense-tick run has
+    ``dt_s == timestep_s`` throughout; the event-driven engine records
+    aggregated samples with ``dt_s`` a multiple of the timestep.
+    """
 
     time_s: float
+    dt_s: float
     compute_power_kw: float
     loss_power_kw: float
     cooling_power_kw: float
@@ -42,6 +61,7 @@ class TickSample:
     #: CSV column order (kept in one place for header/row agreement).
     FIELDS = (
         "time_s",
+        "dt_s",
         "compute_power_kw",
         "loss_power_kw",
         "cooling_power_kw",
@@ -98,10 +118,15 @@ class StatsCollector:
         elif power.compute_power_kw > 0:
             # No cooling model coupled: PUE floor from conversion losses only.
             pue = facility_kw / power.compute_power_kw
+        elif facility_kw > 0:
+            # Overhead power with zero IT power: PUE is unbounded, and
+            # reporting the 1.0 floor would understate idle overhead.
+            pue = float("inf")
         else:
             pue = 1.0
         sample = TickSample(
             time_s=now,
+            dt_s=dt_s,
             compute_power_kw=power.compute_power_kw,
             loss_power_kw=power.loss_kw,
             cooling_power_kw=cooling_kw,
@@ -144,21 +169,40 @@ class StatsCollector:
 
     @property
     def elapsed_s(self) -> float:
-        """Simulated span covered by the recorded ticks."""
-        if not self.ticks:
-            return 0.0
-        return self.ticks[-1].time_s - self.ticks[0].time_s
+        """Simulated span covered by the recorded samples (``Σ dt_s``).
+
+        Interval-aware: counts the width of every sample including the
+        last, so dense and event-driven runs of the same window agree.
+        """
+        return self._time_weight_s
 
     @property
     def mean_pue(self) -> float:
-        """Energy-weighted mean PUE (total facility energy / IT energy)."""
+        """Energy-weighted mean PUE (total facility energy / IT energy).
+
+        ``inf`` when overhead energy was drawn with zero IT energy (the
+        degenerate all-idle case); 1.0 only for a truly empty record.
+        """
         if self._it_energy_kwh <= 0:
-            return 1.0
+            return float("inf") if self._energy_kwh > 0 else 1.0
         return self._energy_kwh / self._it_energy_kwh
 
     @property
     def max_pue(self) -> float:
-        return max((t.pue for t in self.ticks), default=1.0)
+        """Worst finite per-sample PUE over ticks that drew IT power.
+
+        Zero-IT ticks report PUE = inf by convention (see module docstring)
+        and are excluded here rather than letting the sentinel swamp the
+        maximum of the meaningful samples.
+        """
+        return max(
+            (
+                t.pue
+                for t in self.ticks
+                if t.compute_power_kw > 0 and math.isfinite(t.pue)
+            ),
+            default=1.0,
+        )
 
     @property
     def mean_utilization(self) -> float:
@@ -235,8 +279,32 @@ class StatsCollector:
                 writer.writerow(tick.row())
 
     def to_json(self, path: str | Path, *, include_timeseries: bool = True) -> None:
-        """Write summary (and optionally the time series) as JSON."""
-        payload: dict[str, object] = {"summary": self.summary()}
+        """Write summary (and optionally the time series) as JSON.
+
+        Non-finite values (the PUE ``inf`` sentinel of zero-IT samples) are
+        exported as ``null``: RFC 8259 has no ``Infinity`` token, and
+        emitting one would make the file unreadable for strict parsers.
+        """
+        payload: dict[str, object] = {"summary": json_safe(self.summary())}
         if include_timeseries:
-            payload["timeseries"] = self.timeseries()
-        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+            payload["timeseries"] = json_safe(self.timeseries())
+        Path(path).write_text(
+            json.dumps(payload, indent=2, allow_nan=False) + "\n"
+        )
+
+
+def json_safe(value):
+    """Recursively replace non-finite floats with ``None`` for strict JSON.
+
+    RFC 8259 has no ``Infinity``/``NaN`` token, so any record that may
+    carry the PUE ``inf`` sentinel (or other non-finite metrics) must pass
+    through this before ``json.dumps(..., allow_nan=False)``. Shared by
+    :meth:`StatsCollector.to_json` and the benchmark harness.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [json_safe(item) for item in value]
+    return value

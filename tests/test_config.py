@@ -71,9 +71,12 @@ class TestCoolingConfig:
         cfg = CoolingConfig()
         assert cfg.cdu_count > 0
 
-    def test_rejects_zero_cdus(self):
+    def test_allows_zero_cdus_for_air_cooled_plants(self):
+        assert CoolingConfig(cdu_count=0, air_cooled_fraction=1.0).cdu_count == 0
+
+    def test_rejects_negative_cdus(self):
         with pytest.raises(ConfigurationError):
-            CoolingConfig(cdu_count=0)
+            CoolingConfig(cdu_count=-1)
 
     def test_rejects_bad_air_fraction(self):
         with pytest.raises(ConfigurationError):

@@ -129,8 +129,40 @@ class TestCoolingPlant:
     def test_zero_it_power(self, cooling_config):
         plant = CoolingPlant(cooling_config)
         state = plant.step(60.0, it_power_kw=0.0, loss_power_kw=0.0, dt_s=60.0)
+        # Nothing is drawn at all: PUE degenerates to the 1.0 identity.
         assert state.pue == pytest.approx(1.0)
         assert state.cooling_power_kw == pytest.approx(0.0)
+
+    def test_zero_it_power_with_overhead_reports_inf_pue(self, cooling_config):
+        # Losses keep dissipating (and being cooled) with no IT power to
+        # attribute them to: PUE is unbounded, not the flattering 1.0 floor.
+        plant = CoolingPlant(cooling_config)
+        state = plant.step(60.0, it_power_kw=0.0, loss_power_kw=50.0, dt_s=60.0)
+        assert state.pue == float("inf")
+        assert state.cooling_power_kw > 0.0
+        assert state.total_facility_power_kw > 0.0
+
+    def test_zero_cdu_plant_is_fully_air_cooled(self):
+        # cdu_count == 0 must not crash (the old code divided by len(cdus))
+        # and must route all heat through the CRAC/facility path.
+        config = CoolingConfig(cdu_count=0, air_cooled_fraction=1.0)
+        plant = CoolingPlant(config)
+        state = plant.step(60.0, it_power_kw=5000.0, loss_power_kw=100.0, dt_s=60.0)
+        assert state.pue > 1.0
+        # CRAC compressor power for the whole load dominates the overhead.
+        assert state.cooling_power_kw > (5000.0 + 100.0) / config.crac_cop * 0.9
+        assert state.cdu_return_temperature_c == pytest.approx(
+            config.supply_temperature_c
+        )
+
+    def test_zero_cdu_plant_requires_full_air_fraction(self):
+        # With no CDUs the liquid share would have nowhere to go, so the
+        # contradictory configuration is rejected up front rather than
+        # silently rerouted at step time.
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="air_cooled_fraction"):
+            CoolingConfig(cdu_count=0, air_cooled_fraction=0.4)
 
     def test_tower_return_follows_power_with_lag(self, cooling_config):
         """Cooling tower return temperature rises after a power step (Fig. 6 behaviour)."""

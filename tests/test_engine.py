@@ -5,9 +5,20 @@ from __future__ import annotations
 import pytest
 
 from repro import run_simulation
+from repro.config import get_system_config
 from repro.engine import FCFSScheduler, SimulationEngine, parse_duration
 from repro.exceptions import SchedulingError, SimulationError, SRapsError
 from repro.telemetry import JobState
+from repro.workloads import (
+    SyntheticWorkloadGenerator,
+    WorkloadSpec,
+    default_workload_spec,
+)
+from repro.workloads.distributions import (
+    JobSizeDistribution,
+    RuntimeDistribution,
+    WaveArrivals,
+)
 
 from helpers import make_job
 
@@ -133,6 +144,183 @@ class TestEngineSmoke:
         jobs = [make_job(nodes=32, submit=0.0)]  # no longer fits: 24 up nodes
         result = SimulationEngine(system, jobs, "fcfs", seed=3).run()
         assert result.jobs[0].state is JobState.DISMISSED
+
+
+def _summaries_equal(sparse: dict, dense: dict, *, rel: float = 1e-6) -> None:
+    """Assert two run summaries agree on everything except the sample count."""
+    assert set(sparse) == set(dense)
+    for key, dense_value in dense.items():
+        if key == "ticks":
+            continue
+        assert sparse[key] == pytest.approx(dense_value, rel=rel, abs=1e-9), key
+
+
+class TestEventDrivenEquivalence:
+    """Event-driven coalescing must be invisible in every summary metric."""
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_synthetic_backfill_summary_matches_dense(self, tiny_system, seed):
+        generator = SyntheticWorkloadGenerator(
+            tiny_system, default_workload_spec(tiny_system), seed=seed
+        )
+        jobs = generator.generate(6 * 3600.0)
+        sparse = SimulationEngine(tiny_system, jobs, "backfill", seed=seed).run()
+        dense = SimulationEngine(
+            tiny_system, jobs, "backfill", seed=seed, dense_ticks=True
+        ).run()
+        _summaries_equal(sparse.summary(), dense.summary())
+        # Busy stretches with varying power are never coalesced, so the
+        # sample count can at best shrink, never grow.
+        assert sparse.summary()["ticks"] <= dense.summary()["ticks"]
+
+    @pytest.mark.parametrize("policy", ["fcfs", "replay"])
+    def test_other_policies_match_dense(self, tiny_system, policy):
+        generator = SyntheticWorkloadGenerator(
+            tiny_system, default_workload_spec(tiny_system), seed=5
+        )
+        jobs = generator.generate(4 * 3600.0)
+        sparse = SimulationEngine(tiny_system, jobs, policy).run()
+        dense = SimulationEngine(tiny_system, jobs, policy, dense_ticks=True).run()
+        _summaries_equal(sparse.summary(), dense.summary())
+
+    def test_idle_heavy_workload_skips_ten_x_steps(self, tiny_system):
+        # Three short constant-power jobs separated by hours of idle time:
+        # the engine should jump the gaps (and the constant-power runs)
+        # instead of grinding through every 15 s tick.
+        jobs = [
+            make_job(nodes=4, submit=0.0, duration=600.0),
+            make_job(nodes=2, submit=20000.0, start=20000.0, duration=900.0),
+            make_job(nodes=8, submit=50000.0, start=50000.0, duration=600.0),
+        ]
+        sparse = SimulationEngine(tiny_system, [j.copy_for_simulation() for j in jobs], "fcfs").run()
+        dense = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], "fcfs", dense_ticks=True
+        ).run()
+        _summaries_equal(sparse.summary(), dense.summary())
+        assert sparse.summary()["ticks"] * 10 <= dense.summary()["ticks"]
+
+    def test_replay_skips_to_backdated_starts(self, tiny_system):
+        # Replay idles until each recorded start; the scheduler hint lets
+        # the engine jump there instead of ticking through the wait.
+        jobs = [
+            make_job(nodes=1, submit=0.0, start=30000.0, duration=300.0),
+            make_job(nodes=1, submit=0.0, start=60000.0, duration=300.0),
+        ]
+        sparse = SimulationEngine(tiny_system, [j.copy_for_simulation() for j in jobs], "replay").run()
+        dense = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], "replay", dense_ticks=True
+        ).run()
+        for result in (sparse, dense):
+            starts = sorted(j.sim_start_time for j in result.jobs)
+            assert starts == [pytest.approx(30000.0), pytest.approx(60000.0)]
+        _summaries_equal(sparse.summary(), dense.summary())
+        assert sparse.summary()["ticks"] * 10 <= dense.summary()["ticks"]
+
+    def test_varying_power_jobs_are_not_coalesced_while_running(self, tiny_system):
+        # A job with a non-constant power trace must be sampled every tick
+        # while it runs, or the energy integral would drift from dense mode.
+        spec = WorkloadSpec(
+            sizes=JobSizeDistribution(min_nodes=1, max_nodes=8),
+            runtimes=RuntimeDistribution(median_s=1200.0, sigma=0.5, min_s=300.0, max_s=3600.0),
+            arrivals=WaveArrivals(rate_per_hour=2.0),
+            trace_interval_s=60.0,
+            generate_power_trace=True,
+        )
+        jobs = SyntheticWorkloadGenerator(tiny_system, spec, seed=13).generate(4 * 3600.0)
+        sparse = SimulationEngine(tiny_system, jobs, "fcfs").run()
+        dense = SimulationEngine(tiny_system, jobs, "fcfs", dense_ticks=True).run()
+        _summaries_equal(sparse.summary(), dense.summary())
+
+    def test_dense_ticks_records_every_grid_tick(self, tiny_system):
+        jobs = [make_job(nodes=2, submit=0.0, duration=1200.0)]
+        dense = SimulationEngine(tiny_system, jobs, "fcfs", dense_ticks=True).run()
+        assert all(t.dt_s == tiny_system.timestep_s for t in dense.stats.ticks)
+        sparse = SimulationEngine(tiny_system, jobs, "fcfs").run()
+        assert len(sparse.stats.ticks) < len(dense.stats.ticks)
+        # Aggregated samples still cover the same simulated span.
+        assert sum(t.dt_s for t in sparse.stats.ticks) == pytest.approx(
+            sum(t.dt_s for t in dense.stats.ticks)
+        )
+
+    def test_run_simulation_dense_ticks_flag(self):
+        sparse = run_simulation(system="tiny", policy="fcfs", duration="2h", seed=1)
+        dense = run_simulation(
+            system="tiny", policy="fcfs", duration="2h", seed=1, dense_ticks=True
+        )
+        _summaries_equal(sparse.summary(), dense.summary())
+
+
+class TestHorizonClamping:
+    def test_truncation_is_clamped_to_off_grid_horizon(self, tiny_system):
+        # 1795 s is not a multiple of the 15 s tick: the old code released
+        # the job at the next tick boundary (1800 s), crediting 5 s of
+        # runtime and node-hours past the horizon.
+        jobs = [make_job(nodes=2, submit=0.0, duration=86400.0)]
+        result = SimulationEngine(tiny_system, jobs, "fcfs", horizon_s=1795.0).run()
+        job = result.jobs[0]
+        assert job.state is JobState.COMPLETED
+        assert job.metadata.get("truncated_by_horizon") is True
+        assert job.sim_end_time == pytest.approx(1795.0)
+        summary = result.summary()
+        assert summary["node_hours"] == pytest.approx(2 * 1795.0 / 3600.0)
+        # The stats integration stops at the horizon too: the final sample
+        # is clipped rather than covering its whole tick.
+        assert summary["simulated_s"] == pytest.approx(1795.0)
+        stats = result.stats
+        assert stats.it_energy_kwh == pytest.approx(
+            sum(t.compute_power_kw * t.dt_s for t in stats.ticks) / 3600.0
+        )
+
+    def test_job_ending_inside_final_partial_tick_is_not_truncated(self, tiny_system):
+        # The job's natural end (1793 s) falls between the last processed
+        # tick (1785 s) and the off-grid horizon (1795 s): it must complete
+        # at its own end time, not be stretched to the horizon and falsely
+        # tagged as truncated.
+        jobs = [make_job(nodes=2, submit=0.0, duration=1793.0)]
+        result = SimulationEngine(tiny_system, jobs, "fcfs", horizon_s=1795.0).run()
+        job = result.jobs[0]
+        assert job.state is JobState.COMPLETED
+        assert job.sim_end_time == pytest.approx(1793.0)
+        assert "truncated_by_horizon" not in job.metadata
+        assert result.summary()["node_hours"] == pytest.approx(2 * 1793.0 / 3600.0)
+
+    def test_workload_draining_before_horizon_matches_dense_mode(self, tiny_system):
+        # The run ends when the workload drains, not at the horizon: the
+        # final sample must not be stretched across the leftover idle time
+        # up to a far-away horizon.
+        jobs = [make_job(nodes=2, submit=0.0, duration=600.0)]
+        sparse = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], "fcfs", horizon_s=86400.0
+        ).run()
+        dense = SimulationEngine(
+            tiny_system,
+            [j.copy_for_simulation() for j in jobs],
+            "fcfs",
+            horizon_s=86400.0,
+            dense_ticks=True,
+        ).run()
+        _summaries_equal(sparse.summary(), dense.summary())
+        assert sparse.summary()["simulated_s"] == pytest.approx(615.0)
+
+    def test_horizon_clamp_matches_dense_mode(self, tiny_system):
+        jobs = [
+            make_job(nodes=4, submit=0.0, duration=86400.0),
+            make_job(nodes=1, submit=500.0, start=500.0, duration=100.0),
+        ]
+        sparse = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], "fcfs", horizon_s=2222.0
+        ).run()
+        dense = SimulationEngine(
+            tiny_system,
+            [j.copy_for_simulation() for j in jobs],
+            "fcfs",
+            horizon_s=2222.0,
+            dense_ticks=True,
+        ).run()
+        _summaries_equal(sparse.summary(), dense.summary())
+        for result in (sparse, dense):
+            truncated = next(j for j in result.jobs if j.nodes_required == 4)
+            assert truncated.sim_end_time == pytest.approx(2222.0)
 
 
 class TestRunSimulation:

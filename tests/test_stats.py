@@ -24,11 +24,12 @@ class TestDerivedMetrics:
         jobs = [make_job(nodes=4, submit=0.0, duration=3600.0, cpu=1.0, gpu=1.0, mem=1.0)]
         result = SimulationEngine(tiny_system, jobs, "fcfs").run()
         stats = result.stats
-        # Left-Riemann integral of the per-tick facility power.
-        dt_h = tiny_system.timestep_s / 3600.0
-        expected = sum(t.facility_power_kw for t in stats.ticks) * dt_h
+        # Interval-aware left-Riemann integral of the per-sample facility
+        # power (event-driven samples carry their own dt_s).
+        expected = sum(t.facility_power_kw * t.dt_s for t in stats.ticks) / 3600.0
         assert stats.total_energy_kwh == pytest.approx(expected)
         assert stats.it_energy_kwh <= stats.total_energy_kwh
+        assert stats.elapsed_s == pytest.approx(sum(t.dt_s for t in stats.ticks))
 
     def test_mean_pue_is_energy_weighted(self, finished_run):
         stats = finished_run.stats
@@ -52,6 +53,76 @@ class TestDerivedMetrics:
         assert summary["total_energy_kwh"] == 0.0
         assert summary["mean_pue"] == 1.0
         assert summary["jobs_completed"] == 0.0
+
+
+def _power_sample(compute_kw: float, loss_kw: float) -> "SystemPowerSample":
+    from repro.power.system_power import SystemPowerSample
+
+    return SystemPowerSample(
+        time_s=0.0,
+        job_power_kw=compute_kw,
+        idle_power_kw=0.0,
+        loss_kw=loss_kw,
+        allocated_nodes=0,
+        mean_cpu_util=0.0,
+        mean_gpu_util=0.0,
+    )
+
+
+class TestPueAtZeroItPower:
+    def test_zero_it_tick_reports_inf_pue(self):
+        stats = StatsCollector()
+        tick = stats.record_tick(
+            0.0, 15.0, _power_sample(0.0, 25.0), None,
+            utilization=0.0, running_jobs=0, queued_jobs=0,
+        )
+        assert tick.pue == float("inf")
+
+    def test_zero_it_ticks_excluded_from_max_pue(self):
+        stats = StatsCollector()
+        stats.record_tick(
+            0.0, 15.0, _power_sample(0.0, 25.0), None,
+            utilization=0.0, running_jobs=0, queued_jobs=0,
+        )
+        stats.record_tick(
+            15.0, 15.0, _power_sample(100.0, 5.0), None,
+            utilization=0.5, running_jobs=1, queued_jobs=0,
+        )
+        # The inf sentinel of the idle tick must not swamp the meaningful
+        # maximum of the loaded ticks.
+        assert stats.max_pue == pytest.approx(105.0 / 100.0)
+
+    def test_all_idle_run_has_inf_mean_pue(self):
+        stats = StatsCollector()
+        stats.record_tick(
+            0.0, 15.0, _power_sample(0.0, 25.0), None,
+            utilization=0.0, running_jobs=0, queued_jobs=0,
+        )
+        assert stats.mean_pue == float("inf")
+        assert stats.max_pue == 1.0  # no tick with IT power at all
+
+    def test_inf_pue_exports_as_null_in_strict_json(self, tmp_path):
+        stats = StatsCollector()
+        stats.record_tick(
+            0.0, 15.0, _power_sample(0.0, 25.0), None,
+            utilization=0.0, running_jobs=0, queued_jobs=0,
+        )
+        path = tmp_path / "idle.json"
+        stats.to_json(path)
+        text = path.read_text()
+        assert "Infinity" not in text  # RFC 8259 strictness
+        payload = json.loads(text)
+        assert payload["summary"]["mean_pue"] is None
+        assert payload["timeseries"]["pue"] == [None]
+
+    def test_truly_dead_tick_keeps_unit_pue(self):
+        stats = StatsCollector()
+        tick = stats.record_tick(
+            0.0, 15.0, _power_sample(0.0, 0.0), None,
+            utilization=0.0, running_jobs=0, queued_jobs=0,
+        )
+        assert tick.pue == pytest.approx(1.0)
+        assert stats.mean_pue == pytest.approx(1.0)
 
 
 class TestExports:
