@@ -13,10 +13,20 @@ numbers written to ``BENCH_engine.json`` in the repository root:
     dense ticks vs event-driven — demonstrating the step reduction the
     event-driven engine gets from coalescing idle time.
 
+``engine_busy_trace_24h``
+    A continuously busy 24 h window of multi-phase piecewise-constant
+    profiles under EASY backfill, run dense vs event-driven — demonstrating
+    the step reduction breakpoint-bounded coalescing gets on exactly the
+    telemetry-replay-shaped workloads where the old constant-power veto
+    forced dense ticking.
+
 The script doubles as the CI metrics gate: ``--golden PATH`` compares the
 24 h run's summary against a committed golden record and exits non-zero on
 drift beyond 1e-6 relative tolerance; ``--write-golden PATH`` refreshes the
-record after an intentional semantic change.
+record after an intentional semantic change. Independently of the golden
+record, the dense-vs-event summary drift of the idle-heavy and busy-trace
+benchmarks is gated at 1e-9 relative — the equivalence guarantee is part of
+the engine's contract, so CI fails if coalescing ever changes a metric.
 
 Usage::
 
@@ -40,6 +50,7 @@ from repro.engine.stats import json_safe
 from repro.workloads import (
     SyntheticWorkloadGenerator,
     WorkloadSpec,
+    busy_trace_spec,
     default_workload_spec,
 )
 from repro.workloads.distributions import (
@@ -52,6 +63,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Relative tolerance for the golden-summary drift check.
 GOLDEN_RTOL = 1e-6
+
+#: Relative tolerance for the dense-vs-event-driven equivalence gate.
+EQUIVALENCE_RTOL = 1e-9
 
 
 def idle_heavy_spec() -> WorkloadSpec:
@@ -117,9 +131,10 @@ def bench_24h_window(args, system):
     return record, summary
 
 
-def bench_idle_heavy(args, system):
-    duration_s = parse_duration(args.idle_duration)
-    generator = SyntheticWorkloadGenerator(system, idle_heavy_spec(), seed=args.seed)
+def _bench_dense_vs_event(benchmark, label, args, system, spec, duration):
+    """Time one workload dense vs event-driven and record the comparison."""
+    duration_s = parse_duration(duration)
+    generator = SyntheticWorkloadGenerator(system, spec, seed=args.seed)
     workload = generator.generate(duration_s)
 
     dense_summary, dense = _timed_run(
@@ -130,12 +145,13 @@ def bench_idle_heavy(args, system):
     drift = _summary_drift(event_summary, dense_summary)
     step_reduction = dense["steps"] / event["steps"] if event["steps"] else math.inf
     record = {
-        "benchmark": "engine_idle_heavy_3d",
+        "benchmark": benchmark,
         "system": system.name,
         "policy": args.policy,
-        "duration": args.idle_duration,
+        "duration": duration,
         "seed": args.seed,
         "jobs": len(workload),
+        "mean_utilization": event_summary["mean_utilization"],
         "dense": dense,
         "event_driven": event,
         "step_reduction": step_reduction,
@@ -143,12 +159,26 @@ def bench_idle_heavy(args, system):
         "max_summary_drift_rel": drift,
     }
     print(
-        f"idle-heavy: {len(workload)} jobs over {args.idle_duration}, "
+        f"{label}: {len(workload)} jobs over {duration}, "
         f"{dense['steps']:.0f} dense steps -> {event['steps']:.0f} event steps "
         f"({step_reduction:.0f}x fewer, {record['wall_speedup']:.1f}x faster wall, "
         f"summary drift {drift:.2e})"
     )
     return record
+
+
+def bench_idle_heavy(args, system):
+    return _bench_dense_vs_event(
+        "engine_idle_heavy_3d", "idle-heavy", args, system,
+        idle_heavy_spec(), args.idle_duration,
+    )
+
+
+def bench_busy_trace(args, system):
+    return _bench_dense_vs_event(
+        "engine_busy_trace_24h", "busy-trace", args, system,
+        busy_trace_spec(), args.busy_duration,
+    )
 
 
 def _is_finite_number(value) -> bool:
@@ -224,6 +254,7 @@ def main() -> int:
     parser.add_argument("--policy", default="backfill")
     parser.add_argument("--duration", default="24h")
     parser.add_argument("--idle-duration", default="3d")
+    parser.add_argument("--busy-duration", default="24h")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -243,9 +274,11 @@ def main() -> int:
     system = get_system_config(args.system)
     window_record, window_summary = bench_24h_window(args, system)
     idle_record = bench_idle_heavy(args, system)
+    busy_record = bench_busy_trace(args, system)
 
     record = dict(window_record)
     record["idle_heavy"] = idle_record
+    record["busy_trace"] = busy_record
     record["python"] = platform.python_version()
     record["machine"] = platform.machine()
     # Same strict-JSON convention as StatsCollector.to_json: non-finite
@@ -270,6 +303,22 @@ def main() -> int:
             json.dumps(json_safe(payload), indent=2, allow_nan=False) + "\n"
         )
         print(f"golden record written -> {args.write_golden}")
+
+    # Dense-vs-event equivalence gate: the coalescing engine's summaries
+    # must be indistinguishable from dense ticking on both the idle-heavy
+    # and the busy (breakpoint-dense) workload. Unlike the golden record,
+    # this invariant is never legitimately refreshed.
+    equivalence_failures = [
+        f"{rec['benchmark']}: dense-vs-event summary drift "
+        f"{rec['max_summary_drift_rel']:.3e} > {EQUIVALENCE_RTOL:.0e}"
+        for rec in (idle_record, busy_record)
+        if not rec["max_summary_drift_rel"] <= EQUIVALENCE_RTOL
+    ]
+    if equivalence_failures:
+        for failure in equivalence_failures:
+            print(failure, file=sys.stderr)
+        return 1
+
     if args.golden:
         return check_golden(window_summary, Path(args.golden))
     return 0

@@ -12,7 +12,8 @@ the engine's step order.
 from __future__ import annotations
 
 import heapq
-from typing import Sequence
+from types import MappingProxyType
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -60,6 +61,16 @@ class ResourceManager:
             self._free_sets[partition.name] = set(free_ids)
             self._free_heaps[partition.name] = free_ids  # ascending == valid heap
 
+        # Inventory counters kept in lockstep with allocate/release so the
+        # per-step queries are O(1) instead of full inventory scans; the
+        # down count is immutable after the seed draw above. The epoch
+        # increments on every allocation/release, giving consumers (the
+        # incremental power aggregator, scheduler memoization) a cheap
+        # "did the running set change?" check.
+        self._down_count = sum(1 for node in self.nodes if node.state is NodeState.DOWN)
+        self._allocated_count = 0
+        self._epoch = 0
+
     # -- inventory queries -----------------------------------------------------
 
     @property
@@ -69,18 +80,29 @@ class ResourceManager:
 
     @property
     def available_nodes(self) -> int:
-        """Number of idle, in-service nodes."""
-        return sum(1 for node in self.nodes if node.is_available)
+        """Number of idle, in-service nodes (from the free-node index)."""
+        return self.free_node_count()
 
     @property
     def allocated_nodes(self) -> int:
-        """Number of nodes currently running a job."""
-        return sum(1 for node in self.nodes if node.state is NodeState.ALLOCATED)
+        """Number of nodes currently running a job (O(1) counter)."""
+        return self._allocated_count
 
     @property
     def down_nodes(self) -> int:
-        """Number of down/drained nodes."""
-        return sum(1 for node in self.nodes if node.state is NodeState.DOWN)
+        """Number of down/drained nodes (immutable after the seed draw)."""
+        return self._down_count
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic counter bumped on every allocation or release.
+
+        Two calls observing the same epoch are guaranteed to see the same
+        running set and free-node inventory, which lets consumers cache
+        derived state (per-job power contributions, no-op scheduling
+        decisions) without re-scanning anything.
+        """
+        return self._epoch
 
     @property
     def utilization(self) -> float:
@@ -94,6 +116,11 @@ class ResourceManager:
     def running_jobs(self) -> list[Job]:
         """Jobs currently occupying nodes (stable job-id order)."""
         return [self._running[jid] for jid in sorted(self._running)]
+
+    @property
+    def running_by_id(self) -> Mapping[int, Job]:
+        """Read-only live view of the running jobs keyed by job id."""
+        return MappingProxyType(self._running)
 
     def job_on_node(self, node_id: int) -> Job | None:
         """Return the job running on ``node_id``, if any."""
@@ -192,6 +219,8 @@ class ResourceManager:
             self._free_sets[self._partition_of[nid]].discard(nid)
         job.mark_running(now, chosen)
         self._running[job.job_id] = job
+        self._allocated_count += len(chosen)
+        self._epoch += 1
         return chosen
 
     def release(self, job: Job, now: float) -> None:
@@ -202,6 +231,8 @@ class ResourceManager:
             self.nodes[nid].release(now)
             self._mark_free(nid)
         del self._running[job.job_id]
+        self._allocated_count -= len(job.assigned_nodes)
+        self._epoch += 1
         if job.state is JobState.RUNNING:
             job.mark_completed(now)
 
@@ -224,6 +255,8 @@ class ResourceManager:
                 self.nodes[nid].release(end_time)
                 self._mark_free(nid)
             del self._running[job.job_id]
+            self._allocated_count -= len(job.assigned_nodes)
+            self._epoch += 1
             job.mark_completed(end_time)
         return finished
 

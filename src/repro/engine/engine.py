@@ -10,16 +10,21 @@ schedule matches the telemetry exactly.
 
 Time advancement is *event-driven* by default: when nothing can change
 before the next event — no pending submission, no running-job end, no
-backdated replay start, no horizon, and a scheduling policy that declares
-itself quiescent via :meth:`Scheduler.next_event_hint` — the engine jumps
-straight to the grid tick that first processes the next event, recording one
-aggregated :class:`~repro.engine.stats.TickSample` whose ``dt_s`` spans the
-coalesced interval. Because power and cooling overhead are constant over
-such an interval (the cooling loops relax exponentially towards a constant
-target, which composes exactly across substeps), every summary metric is
-identical to a dense tick-by-tick run up to floating-point associativity.
-Pass ``dense_ticks=True`` (CLI: ``--dense-ticks``) to force one sample per
-grid tick when an exact per-tick time series is needed.
+backdated replay start, no horizon, no profile breakpoint on the running
+set, and a scheduling policy that declares itself quiescent via
+:meth:`Scheduler.next_event_hint` — the engine jumps straight to the grid
+tick that first processes the next event, recording one aggregated
+:class:`~repro.engine.stats.TickSample` whose ``dt_s`` spans the coalesced
+interval. A running job with a piecewise-constant profile does not force
+dense ticking: it merely bounds the interval by its next profile *value
+change* (:meth:`Job.next_power_change_after`; repeated equal samples are
+not breakpoints), so busy telemetry-replay traces coalesce almost as well
+as idle ones. Because power and cooling overhead are constant over such an
+interval (the cooling loops relax exponentially towards a constant target,
+which composes exactly across substeps), every summary metric is identical
+to a dense tick-by-tick run up to floating-point associativity. Pass
+``dense_ticks=True`` (CLI: ``--dense-ticks``) to force one sample per grid
+tick when an exact per-tick time series is needed.
 
 :func:`run_simulation` is the one-call entry point used by the CLI, the
 benchmark harness and the quick-start example: it resolves the system
@@ -37,7 +42,7 @@ from ..cluster import NodeState, ResourceManager
 from ..config import SystemConfig, get_system_config
 from ..cooling import CoolingPlant
 from ..exceptions import AllocationError, SchedulingError, SimulationError
-from ..power import SystemPowerModel
+from ..power import RunningSetPowerAggregator, SystemPowerModel
 from ..telemetry.job import Job, JobState
 from ..units import parse_duration as _parse_duration_s
 from ..workloads import SyntheticWorkloadGenerator, WorkloadSpec, default_workload_spec
@@ -132,6 +137,14 @@ class SimulationEngine:
         self.scheduler.reset()
         self.resource_manager = ResourceManager(system, seed=seed)
         self.power_model = SystemPowerModel(system)
+        #: Incremental system-power evaluation over the running set: per-job
+        #: contributions are pre-evaluated on each profile's change-point
+        #: grid at job start and refreshed only on membership changes
+        #: (tracked via the resource manager's epoch) and breakpoint
+        #: crossings — never rescanned per step.
+        self.power_aggregator = RunningSetPowerAggregator(
+            self.power_model, self.resource_manager
+        )
         self.cooling_plant = (
             CoolingPlant(system.cooling) if system.cooling is not None else None
         )
@@ -139,8 +152,6 @@ class SimulationEngine:
         self.seed = seed
         self.horizon_s = horizon_s
         self.dense_ticks = dense_ticks
-        #: Per-job cache of "power is time-invariant while running" checks.
-        self._constant_power: dict[int, bool] = {}
 
         self.jobs = [job.copy_for_simulation() for job in jobs]
         self._pending: deque[Job] = deque(
@@ -271,13 +282,16 @@ class SimulationEngine:
                 dt_s = horizon_end - now
 
         # (4) Power on the running set, (5) cooling on the resulting heat.
-        # Node counts are derived from the running set and the (immutable
-        # after the seed draw) down count rather than re-scanning the node
-        # inventory, keeping the tick O(running jobs) on large systems.
-        allocated = sum(job.nodes_required for job in running)
-        down = self.resource_manager.total_nodes - self._in_service_nodes
-        power = self.power_model.sample(
-            now, running, allocated_nodes=allocated, down_nodes=down
+        # Node counts come from the resource manager's O(1) counters and the
+        # (immutable after the seed draw) down count; the power aggregator
+        # reuses cached per-job contributions, so the power evaluation of an
+        # event-free step is O(1) — profile lookups and model evaluations
+        # never rescan the running set. (The step as a whole still makes one
+        # O(running jobs) pass for release checks and event bounds.)
+        allocated = self.resource_manager.allocated_nodes
+        down = self.resource_manager.down_nodes
+        power = self.power_aggregator.sample(
+            now, allocated_nodes=allocated, down_nodes=down
         )
         cooling = None
         if self.cooling_plant is not None:
@@ -353,13 +367,17 @@ class SimulationEngine:
         next event), no submission (first pending submit likewise), no
         policy action (the scheduler's :meth:`~Scheduler.next_event_hint`
         either vetoes, names a future time, or declares itself quiescent)
-        and no horizon crossing. Running jobs additionally must draw
-        constant power, otherwise the per-tick power samples of a dense run
-        would differ and the energy integral with them.
+        and no horizon crossing. A running job with a time-varying profile
+        does not veto coalescing — it bounds the interval by its next
+        profile *value change* (repeated equal samples are not
+        breakpoints), since every skipped grid tick up to that point
+        provably samples the same power as the recorded one.
 
         Returns ``k * timestep`` where ``now + k * timestep`` is the first
         grid tick that processes the next event — exactly the tick a dense
-        run would next act on.
+        run would next act on (including the tick that first sees a profile
+        breakpoint, which may itself lie off-grid for replay-backdated
+        starts).
         """
         hint = self.scheduler.next_event_hint(tuple(self._queue), now)
         if hint is not None and hint <= now:
@@ -370,10 +388,11 @@ class SimulationEngine:
         if self._pending:
             events.append(self._pending[0].submit_time)
         for job in running:
-            if not self._has_constant_power(job):
-                return timestep
             start = job.sim_start_time if job.sim_start_time is not None else now
             events.append(start + job.duration)
+            next_change = job.next_power_change_after(now)
+            if next_change is not None:
+                events.append(next_change)
         if not events:
             # Nothing queued, pending or running: this is the final sample
             # and the run ends at the next tick — jumping to a far-away
@@ -391,20 +410,6 @@ class SimulationEngine:
         while k > 1 and now + (k - 1) * timestep >= t_next:
             k -= 1
         return max(1, k) * timestep
-
-    def _has_constant_power(self, job: Job) -> bool:
-        """Whether the job's power/utilization is time-invariant while running."""
-        cached = self._constant_power.get(job.job_id)
-        if cached is None:
-            cached = all(
-                profile.maximum() == profile.minimum()
-                for profile in (job.cpu_util, job.gpu_util, job.mem_util)
-            ) and (
-                job.node_power is None
-                or job.node_power.maximum() == job.node_power.minimum()
-            )
-            self._constant_power[job.job_id] = cached
-        return cached
 
     # -- helpers ---------------------------------------------------------------
 

@@ -298,7 +298,33 @@ class BackfillScheduler(Scheduler):
 
     name = "backfill"
 
+    def __init__(self) -> None:
+        #: Memoized "nothing startable" key: (resource-manager epoch, queue
+        #: job ids). The full EASY pass is O(queue × occupants); with
+        #: breakpoint-bounded coalescing the engine steps on every profile
+        #: breakpoint, and re-running that pass each power-only step would
+        #: dominate busy traces. A no-op decision is a pure function of the
+        #: free-node inventory (changes only with the epoch) and the queue
+        #: composition: the only ``now``-dependent test,
+        #: ``now + requested_runtime <= shadow_time``, can flip true→false
+        #: but never false→true as ``now`` advances, so a declined queue
+        #: stays declined until the next allocation, release or submission.
+        self._noop_key: tuple[int, tuple[int, ...]] | None = None
+
+    def reset(self) -> None:
+        self._noop_key = None
+
     def schedule(
+        self, queue: Sequence[Job], resource_manager: ResourceManager, now: float
+    ) -> list[SchedulingDecision]:
+        key = (resource_manager.epoch, tuple(job.job_id for job in queue))
+        if key == self._noop_key:
+            return []
+        decisions = self._schedule(queue, resource_manager, now)
+        self._noop_key = None if decisions else key
+        return decisions
+
+    def _schedule(
         self, queue: Sequence[Job], resource_manager: ResourceManager, now: float
     ) -> list[SchedulingDecision]:
         decisions: list[SchedulingDecision] = []

@@ -10,8 +10,12 @@ record (summary + series) to JSON.
 Samples are *interval-aware*: each :class:`TickSample` carries the length
 ``dt_s`` of the interval it stands for, so the event-driven engine can
 coalesce an event-free stretch into one sample without changing any energy
-or time-weighted metric. All summary invariants hold regardless of how time
-was discretised: ``total_energy_kwh == Σ facility_power_kw · dt_s / 3600``,
+or time-weighted metric. The engine guarantees every coalesced sample spans
+a stretch over which the sampled state is constant on the tick grid —
+coalescing is bounded by profile breakpoints as well as events — so the
+constant-over-interval assumption below is exact, not approximate. All
+summary invariants hold regardless of how time was discretised:
+``total_energy_kwh == Σ facility_power_kw · dt_s / 3600``,
 ``mean_pue == total_energy_kwh / it_energy_kwh``, ``elapsed_s == Σ dt_s``.
 
 PUE at zero IT power is reported as ``float("inf")`` (overhead power with

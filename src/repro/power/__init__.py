@@ -8,13 +8,18 @@ the cooling model — the RAPS power path of the original ExaDigiT work.
 
 from .node_power import NodePowerModel, system_idle_power_kw
 from .losses import ConversionLossModel, LossBreakdown
-from .system_power import SystemPowerModel, SystemPowerSample
+from .system_power import (
+    RunningSetPowerAggregator,
+    SystemPowerModel,
+    SystemPowerSample,
+)
 
 __all__ = [
     "NodePowerModel",
     "system_idle_power_kw",
     "ConversionLossModel",
     "LossBreakdown",
+    "RunningSetPowerAggregator",
     "SystemPowerModel",
     "SystemPowerSample",
 ]

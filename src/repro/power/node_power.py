@@ -20,6 +20,12 @@ class NodePowerModel:
 
     def __init__(self, config: NodePowerConfig) -> None:
         self.config = config
+        # Hoisted per-component dynamic ranges: the subtraction results are
+        # identical to inlining them (same IEEE operation, computed once),
+        # so evaluation stays bit-for-bit compatible while the hot path
+        # sheds two subtractions and four attribute lookups per call.
+        self._cpu_dynamic_watts = config.cpu_max_watts - config.cpu_idle_watts
+        self._gpu_dynamic_watts = config.gpu_max_watts - config.gpu_idle_watts
 
     def power(
         self,
@@ -31,7 +37,9 @@ class NodePowerModel:
 
         Inputs outside [0, 1] are clipped; arrays broadcast element-wise so a
         whole trace (or a whole system's worth of nodes) can be evaluated in
-        one vectorised call.
+        one vectorised call. The scalar and vectorised paths apply the same
+        IEEE operations element-wise, so evaluating a profile on its change-
+        point grid gives bit-identical values to scalar per-tick calls.
         """
         cfg = self.config
         cpu = np.clip(cpu_util, 0.0, 1.0)
@@ -39,10 +47,8 @@ class NodePowerModel:
         mem = np.clip(mem_util, 0.0, 1.0)
         power = (
             cfg.idle_watts
-            + cfg.cpus_per_node
-            * (cfg.cpu_idle_watts + cpu * (cfg.cpu_max_watts - cfg.cpu_idle_watts))
-            + cfg.gpus_per_node
-            * (cfg.gpu_idle_watts + gpu * (cfg.gpu_max_watts - cfg.gpu_idle_watts))
+            + cfg.cpus_per_node * (cfg.cpu_idle_watts + cpu * self._cpu_dynamic_watts)
+            + cfg.gpus_per_node * (cfg.gpu_idle_watts + gpu * self._gpu_dynamic_watts)
             + mem * cfg.mem_dynamic_watts
         )
         if np.isscalar(cpu_util) and np.isscalar(gpu_util) and np.isscalar(mem_util):

@@ -262,6 +262,41 @@ class Job:
             float(self.mem_util.value_at(t)),
         )
 
+    def power_profiles(self) -> tuple[Profile, ...]:
+        """The profiles that determine this job's sampled power state.
+
+        When a recorded node-power trace exists it wins over the component
+        model, so memory utilization becomes irrelevant — but CPU/GPU
+        utilization still feed the per-tick mean-utilization series, so they
+        stay in the set. Without a power trace, power is the component model
+        over all three utilization profiles.
+        """
+        if self.node_power is not None:
+            return (self.node_power, self.cpu_util, self.gpu_util)
+        return (self.cpu_util, self.gpu_util, self.mem_util)
+
+    def next_power_change_after(self, now: float) -> float | None:
+        """First simulation time strictly after ``now`` at which this job's
+        sampled power state (power draw or mean-utilization contribution)
+        changes, or ``None`` if it never changes again.
+
+        Profiles are indexed by elapsed time since the simulated start, so a
+        replay-backdated (off-grid) start shifts every change point with it.
+        Constant profiles — and any job past its last change point, gap-
+        filled with the last known value — contribute nothing, which is what
+        lets the engine coalesce across them.
+        """
+        base = self.sim_start_time if self.sim_start_time is not None else now
+        elapsed = now - base
+        best: float | None = None
+        for profile in self.power_profiles():
+            change = profile.next_change_after(elapsed)
+            if change is not None:
+                candidate = base + change
+                if best is None or candidate < best:
+                    best = candidate
+        return best
+
     def recorded_power_at(self, now: float) -> float | None:
         """Recorded per-node power (watts) at ``now``, if a trace exists."""
         if self.node_power is None:

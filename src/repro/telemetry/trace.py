@@ -33,15 +33,15 @@ class Profile:
     Notes
     -----
     Profiles are immutable after construction; the sample arrays are copied
-    and marked read-only so they can be shared between a replayed and a
-    rescheduled copy of the same job without aliasing hazards.
+    exactly once and marked read-only so they can be shared between a
+    replayed and a rescheduled copy of the same job without aliasing hazards.
     """
 
-    __slots__ = ("_times", "_values")
+    __slots__ = ("_times", "_values", "_change_times", "_grid_times", "_grid_values")
 
     def __init__(self, times: Iterable[float], values: Iterable[float]) -> None:
-        times_arr = np.asarray(list(times), dtype=float)
-        values_arr = np.asarray(list(values), dtype=float)
+        times_arr = _owned_float_array(times)
+        values_arr = _owned_float_array(values)
         if times_arr.ndim != 1 or values_arr.ndim != 1:
             raise DataLoaderError("profile times and values must be 1-D")
         if times_arr.shape != values_arr.shape:
@@ -57,10 +57,16 @@ class Profile:
             raise DataLoaderError("profile times must be strictly increasing")
         if np.any(~np.isfinite(values_arr)):
             raise DataLoaderError("profile values must be finite")
-        self._times = times_arr.copy()
-        self._values = values_arr.copy()
+        self._times = times_arr
+        self._values = values_arr
         self._times.setflags(write=False)
         self._values.setflags(write=False)
+        # Change-point index (lazy): the relative times at which the held
+        # value actually *changes* — repeated equal samples are not change
+        # points — plus the compressed zero-order-hold grid over [0, inf).
+        self._change_times: np.ndarray | None = None
+        self._grid_times: np.ndarray | None = None
+        self._grid_values: np.ndarray | None = None
 
     # -- basic accessors ----------------------------------------------------
 
@@ -117,6 +123,69 @@ class Profile:
         idx = np.searchsorted(self._times, ts_arr, side="right") - 1
         idx = np.clip(idx, 0, len(self) - 1)
         return self._values[idx]
+
+    # -- change points -------------------------------------------------------
+
+    def _ensure_change_index(self) -> None:
+        if self._change_times is not None:
+            return
+        values = self._values
+        # Indices where the held value differs from the previous sample;
+        # the first sample is never a change point (the hold-back rule makes
+        # its value effective from t = -inf already).
+        changed = np.flatnonzero(values[1:] != values[:-1]) + 1
+        change_times = self._times[changed]
+        grid_times = np.concatenate([[0.0], change_times])
+        grid_values = np.concatenate([[values[0]], values[changed]])
+        for arr in (change_times, grid_times, grid_values):
+            arr.setflags(write=False)
+        self._change_times = change_times
+        self._grid_times = grid_times
+        self._grid_values = grid_values
+
+    def change_points(self) -> np.ndarray:
+        """Relative times at which the held value changes (read-only).
+
+        Repeated equal samples are *not* change points, so a constant
+        profile — regardless of how many samples spell it out — returns an
+        empty array. The first sample is never a change point either: its
+        value is already in effect before it (hold-back rule).
+        """
+        self._ensure_change_index()
+        return self._change_times
+
+    def change_grid(self) -> tuple[np.ndarray, np.ndarray]:
+        """Compressed zero-order-hold representation ``(times, values)``.
+
+        ``values[i]`` is the value in effect on ``[times[i], times[i+1])``
+        (the last entry extends to infinity — gap-filling rule); ``times``
+        always starts at 0.0. Equivalent to, but usually much smaller than,
+        the raw sample arrays; consumers index it with ``searchsorted``.
+        """
+        self._ensure_change_index()
+        return self._grid_times, self._grid_values
+
+    def next_change_after(self, t: float) -> float | None:
+        """First relative time strictly after ``t`` where the value changes.
+
+        Returns ``None`` when the value never changes after ``t`` — for a
+        constant profile, for any ``t`` at or past the last change point,
+        and always for single-sample profiles. Queries before the first
+        sample see the hold-back value, so the first change point is the
+        earliest possible answer. Backed by the precomputed change-point
+        array, so a query is one ``searchsorted``, not a scan.
+        """
+        self._ensure_change_index()
+        change_times = self._change_times
+        idx = int(np.searchsorted(change_times, t, side="right"))
+        if idx >= change_times.size:
+            return None
+        return float(change_times[idx])
+
+    def is_constant(self) -> bool:
+        """Whether the profile holds a single value over its whole span."""
+        self._ensure_change_index()
+        return self._change_times.size == 0
 
     def mean(self) -> float:
         """Time-weighted mean of the profile over its recorded duration.
@@ -207,6 +276,19 @@ class Profile:
             "min": self.minimum(),
             "std": self.std(),
         }
+
+
+def _owned_float_array(data: Iterable[float]) -> np.ndarray:
+    """Convert ``data`` to a float64 array the caller owns, copying once.
+
+    ndarray inputs are copied directly (``astype``) — no intermediate Python
+    list, which used to box every element and copy twice on large telemetry
+    loads. Other iterables are materialised into a list first (``np.asarray``
+    then builds a fresh buffer, so no aliasing is possible).
+    """
+    if isinstance(data, np.ndarray):
+        return data.astype(float, copy=True)
+    return np.asarray(list(data), dtype=float)
 
 
 def constant_profile(value: float, duration: float = 0.0) -> Profile:

@@ -16,9 +16,15 @@ from .distributions import (
     UserPopulation,
     WaveArrivals,
 )
-from .synthetic import SyntheticWorkloadGenerator, WorkloadSpec, default_workload_spec
+from .synthetic import (
+    SyntheticWorkloadGenerator,
+    WorkloadSpec,
+    busy_trace_spec,
+    default_workload_spec,
+)
 
 __all__ = [
+    "busy_trace_spec",
     "default_workload_spec",
     "JobSizeDistribution",
     "PoissonArrivals",

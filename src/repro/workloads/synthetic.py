@@ -48,6 +48,15 @@ class WorkloadSpec:
         Ranges for per-job mean utilization draws.
     phase_count_range:
         Number of piecewise-constant phases per profile.
+    sample_noise:
+        Scale factor on the per-sample noise added within a phase. The
+        default 1.0 keeps the historical behaviour (every sample jittered,
+        so every sample is a profile breakpoint); 0.0 produces genuinely
+        piecewise-constant profiles whose only breakpoints are the phase
+        edges — the shape telemetry replays dominate on and the one the
+        busy-trace benchmark uses to exercise breakpoint-bounded
+        coalescing. Any value draws the same random numbers, so changing it
+        never perturbs the other workload draws of a fixed seed.
     priority_range:
         Uniform range for dataset-provided priorities.
     """
@@ -62,9 +71,12 @@ class WorkloadSpec:
     gpu_util_range: tuple[float, float] = (0.0, 0.95)
     mem_util_range: tuple[float, float] = (0.1, 0.8)
     phase_count_range: tuple[int, int] = (1, 5)
+    sample_noise: float = 1.0
     priority_range: tuple[float, float] = (0.0, 100.0)
 
     def __post_init__(self) -> None:
+        if self.sample_noise < 0.0:
+            raise ConfigurationError("sample_noise must be non-negative")
         for name in ("cpu_util_range", "gpu_util_range", "mem_util_range"):
             low, high = getattr(self, name)
             if not 0.0 <= low <= high <= 1.0:
@@ -94,6 +106,31 @@ def default_workload_spec(system: SystemConfig) -> WorkloadSpec:
         arrivals=WaveArrivals(rate_per_hour=max(6.0, system.total_nodes / 16.0)),
         trace_interval_s=float(system.trace_quantum_s),
         generate_power_trace=False,
+    )
+
+
+def busy_trace_spec() -> WorkloadSpec:
+    """A continuously busy workload of multi-phase piecewise-constant profiles.
+
+    ``sample_noise=0.0`` makes the profiles genuinely piecewise-constant
+    (breakpoints only at the 2-6 phase edges per job) — the shape real
+    telemetry replays are dominated by, and the case the engine's
+    breakpoint-bounded coalescing is built for. Sized for the 32-node
+    ``tiny`` system: at 4 jobs/hour of 2-16-node, ~2 h jobs the machine sits
+    around 90% utilization for the whole window. Shared by the busy-trace
+    benchmark (``scripts/bench_engine.py``) and the step-reduction
+    regression test so the two can never drift apart.
+    """
+    return WorkloadSpec(
+        sizes=JobSizeDistribution(min_nodes=2, max_nodes=16),
+        runtimes=RuntimeDistribution(
+            median_s=7200.0, sigma=0.5, min_s=1800.0, max_s=4 * 3600.0
+        ),
+        arrivals=WaveArrivals(rate_per_hour=4.0, amplitude=0.3),
+        trace_interval_s=60.0,
+        generate_power_trace=False,
+        phase_count_range=(2, 6),
+        sample_noise=0.0,
     )
 
 
@@ -237,7 +274,13 @@ class SyntheticWorkloadGenerator:
             phase_levels = np.clip(
                 mean + rng.normal(0.0, jitter, size=n_phases), 0.0, 1.0
             )
-            noise = rng.normal(0.0, jitter * 0.2, size=times.size)
+            # Always draw the noise so the rng stream (and hence every other
+            # sampled quantity of a fixed seed) is independent of
+            # ``sample_noise``; scaling by 0.0 yields exact within-phase
+            # repeats, which the engine's breakpoint detection relies on
+            # (and scaling by the default 1.0 is bit-identical to the
+            # historical unscaled draw).
+            noise = rng.normal(0.0, jitter * 0.2, size=times.size) * spec.sample_noise
             return np.clip(phase_levels[phase_idx] + noise, 0.0, 1.0)
 
         return (

@@ -28,8 +28,16 @@ def make_job(
     wall_limit: float | None = None,
     recorded_nodes: tuple[int, ...] = (),
     node_power: Profile | None = None,
+    cpu_profile: Profile | None = None,
+    gpu_profile: Profile | None = None,
+    mem_profile: Profile | None = None,
 ) -> Job:
-    """Construct a simple job for tests."""
+    """Construct a simple job for tests.
+
+    Utilization defaults to constant profiles at the ``cpu``/``gpu``/``mem``
+    levels; pass an explicit ``*_profile`` to exercise time-varying
+    telemetry.
+    """
     return Job(
         nodes_required=nodes,
         submit_time=submit,
@@ -41,8 +49,8 @@ def make_job(
         priority=priority,
         partition=partition,
         recorded_nodes=recorded_nodes,
-        cpu_util=constant_profile(cpu, duration),
-        gpu_util=constant_profile(gpu, duration),
-        mem_util=constant_profile(mem, duration),
+        cpu_util=cpu_profile if cpu_profile is not None else constant_profile(cpu, duration),
+        gpu_util=gpu_profile if gpu_profile is not None else constant_profile(gpu, duration),
+        mem_util=mem_profile if mem_profile is not None else constant_profile(mem, duration),
         node_power=node_power,
     )

@@ -234,3 +234,60 @@ class TestResourceManager:
             rm.release(job, 10.0)
         assert rm.allocated_nodes == 0
         assert rm.available_nodes + rm.down_nodes == rm.total_nodes
+
+
+class TestEpochAndCounters:
+    """The epoch/counter bookkeeping backing the incremental consumers."""
+
+    def test_epoch_bumps_on_allocate_and_release(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        assert rm.epoch == 0
+        job = make_job(nodes=4, submit=0.0)
+        job.mark_queued(0.0)
+        rm.allocate(job, 0.0)
+        assert rm.epoch == 1
+        rm.release(job, 100.0)
+        assert rm.epoch == 2
+
+    def test_epoch_bumps_on_complete_finished_jobs(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        jobs = [make_job(nodes=1, submit=0.0, duration=300.0) for _ in range(3)]
+        for job in jobs:
+            job.mark_queued(0.0)
+            rm.allocate(job, 0.0)
+        epoch = rm.epoch
+        assert rm.complete_finished_jobs(100.0) == []
+        assert rm.epoch == epoch  # no releases, no bump
+        assert len(rm.complete_finished_jobs(300.0)) == 3
+        assert rm.epoch == epoch + 3
+
+    def test_counters_match_inventory_scan(self, tiny_system):
+        system = tiny_system.with_overrides(down_node_fraction=0.125)
+        rm = ResourceManager(system, seed=5)
+        jobs = [make_job(nodes=n, submit=0.0) for n in (3, 5, 2)]
+        for job in jobs:
+            job.mark_queued(0.0)
+            rm.allocate(job, 0.0)
+        rm.release(jobs[1], 50.0)
+
+        def scan(state):
+            return sum(1 for node in rm.nodes if node.state is state)
+
+        assert rm.allocated_nodes == scan(NodeState.ALLOCATED) == 5
+        assert rm.down_nodes == scan(NodeState.DOWN) == 4
+        assert rm.available_nodes == sum(
+            1 for node in rm.nodes if node.is_available
+        )
+        assert rm.allocated_nodes + rm.available_nodes + rm.down_nodes == rm.total_nodes
+
+    def test_running_by_id_is_read_only_view(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = make_job(nodes=2, submit=0.0)
+        job.mark_queued(0.0)
+        rm.allocate(job, 0.0)
+        view = rm.running_by_id
+        assert view[job.job_id] is job
+        with pytest.raises(TypeError):
+            view[job.job_id + 1] = job  # type: ignore[index]
+        rm.release(job, 10.0)
+        assert job.job_id not in rm.running_by_id

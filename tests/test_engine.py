@@ -8,10 +8,11 @@ from repro import run_simulation
 from repro.config import get_system_config
 from repro.engine import FCFSScheduler, SimulationEngine, parse_duration
 from repro.exceptions import SchedulingError, SimulationError, SRapsError
-from repro.telemetry import JobState
+from repro.telemetry import JobState, Profile
 from repro.workloads import (
     SyntheticWorkloadGenerator,
     WorkloadSpec,
+    busy_trace_spec,
     default_workload_spec,
 )
 from repro.workloads.distributions import (
@@ -169,7 +170,7 @@ class TestEventDrivenEquivalence:
             tiny_system, jobs, "backfill", seed=seed, dense_ticks=True
         ).run()
         _summaries_equal(sparse.summary(), dense.summary())
-        # Busy stretches with varying power are never coalesced, so the
+        # Coalescing is bounded by events and profile breakpoints, so the
         # sample count can at best shrink, never grow.
         assert sparse.summary()["ticks"] <= dense.summary()["ticks"]
 
@@ -216,9 +217,11 @@ class TestEventDrivenEquivalence:
         _summaries_equal(sparse.summary(), dense.summary())
         assert sparse.summary()["ticks"] * 10 <= dense.summary()["ticks"]
 
-    def test_varying_power_jobs_are_not_coalesced_while_running(self, tiny_system):
-        # A job with a non-constant power trace must be sampled every tick
-        # while it runs, or the energy integral would drift from dense mode.
+    def test_varying_power_jobs_coalesce_between_breakpoints(self, tiny_system):
+        # Jobs with non-constant power traces no longer force dense ticking:
+        # the engine coalesces up to each profile's next value change, so
+        # the energy integral still matches dense mode exactly while the
+        # 60 s-sampled traces need at most one step per 4 grid ticks.
         spec = WorkloadSpec(
             sizes=JobSizeDistribution(min_nodes=1, max_nodes=8),
             runtimes=RuntimeDistribution(median_s=1200.0, sigma=0.5, min_s=300.0, max_s=3600.0),
@@ -230,6 +233,98 @@ class TestEventDrivenEquivalence:
         sparse = SimulationEngine(tiny_system, jobs, "fcfs").run()
         dense = SimulationEngine(tiny_system, jobs, "fcfs", dense_ticks=True).run()
         _summaries_equal(sparse.summary(), dense.summary())
+        assert sparse.summary()["ticks"] < dense.summary()["ticks"]
+
+    def test_coalescing_stops_exactly_at_profile_breakpoints(self, tiny_system):
+        # One job whose CPU profile changes value only at t=1200 (the 600 s
+        # sample repeats the initial value and is NOT a breakpoint): the
+        # engine should record exactly three samples — start, breakpoint,
+        # and the release tick — instead of 120 dense ones.
+        profile = Profile([0.0, 600.0, 1200.0], [0.4, 0.4, 0.9])
+        jobs = [
+            make_job(nodes=2, submit=0.0, duration=1800.0, cpu_profile=profile)
+        ]
+        sparse = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], "fcfs"
+        ).run()
+        dense = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], "fcfs",
+            dense_ticks=True,
+        ).run()
+        _summaries_equal(sparse.summary(), dense.summary(), rel=1e-9)
+        assert [t.time_s for t in sparse.stats.ticks] == [0.0, 1200.0, 1800.0]
+        assert [t.dt_s for t in sparse.stats.ticks] == [1200.0, 600.0, 15.0]
+
+    @pytest.mark.parametrize("policy", ["fcfs", "backfill", "replay"])
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_piecewise_constant_workload_matches_dense(
+        self, tiny_system, policy, seed
+    ):
+        # The tentpole property: workloads dominated by multi-phase
+        # piecewise-constant profiles (the telemetry-replay shape) must
+        # coalesce without any summary drift, across policies and seeds.
+        spec = WorkloadSpec(
+            sizes=JobSizeDistribution(min_nodes=1, max_nodes=8),
+            runtimes=RuntimeDistribution(
+                median_s=1800.0, sigma=0.6, min_s=600.0, max_s=7200.0
+            ),
+            arrivals=WaveArrivals(rate_per_hour=4.0),
+            trace_interval_s=60.0,
+            generate_power_trace=bool(seed % 2),
+            phase_count_range=(2, 5),
+            sample_noise=0.0,
+        )
+        jobs = SyntheticWorkloadGenerator(tiny_system, spec, seed=seed).generate(
+            4 * 3600.0
+        )
+        # A couple of constant-profile jobs ride along; the non-constant
+        # multi-phase ones must still be the majority for the test to mean
+        # anything.
+        jobs += [
+            make_job(nodes=1, submit=600.0 * i, start=600.0 * i, duration=900.0)
+            for i in range(3)
+        ]
+        non_constant = [
+            j
+            for j in jobs
+            if any(not p.is_constant() for p in j.power_profiles())
+        ]
+        assert 2 * len(non_constant) >= len(jobs)
+        sparse = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], policy, seed=seed
+        ).run()
+        dense = SimulationEngine(
+            tiny_system,
+            [j.copy_for_simulation() for j in jobs],
+            policy,
+            seed=seed,
+            dense_ticks=True,
+        ).run()
+        _summaries_equal(sparse.summary(), dense.summary(), rel=1e-9)
+        assert sparse.summary()["ticks"] <= dense.summary()["ticks"]
+
+    def test_busy_piecewise_trace_gets_large_step_reduction(self, tiny_system):
+        # The point of breakpoint-bounded coalescing: a *busy* trace (high
+        # utilization, piecewise-constant phases) must shed >= 5x the steps,
+        # where the old constant-power veto gave exactly 1x. Uses the same
+        # spec as the busy-trace benchmark so tuning one cannot silently
+        # desynchronise the other.
+        jobs = SyntheticWorkloadGenerator(
+            tiny_system, busy_trace_spec(), seed=42
+        ).generate(12 * 3600.0)
+        sparse = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], "backfill", seed=42
+        ).run()
+        dense = SimulationEngine(
+            tiny_system,
+            [j.copy_for_simulation() for j in jobs],
+            "backfill",
+            seed=42,
+            dense_ticks=True,
+        ).run()
+        _summaries_equal(sparse.summary(), dense.summary(), rel=1e-9)
+        assert sparse.summary()["mean_utilization"] > 0.5  # genuinely busy
+        assert sparse.summary()["ticks"] * 5 <= dense.summary()["ticks"]
 
     def test_dense_ticks_records_every_grid_tick(self, tiny_system):
         jobs = [make_job(nodes=2, submit=0.0, duration=1200.0)]

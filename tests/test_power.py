@@ -197,3 +197,135 @@ class TestSystemPowerModel:
         with_down = model.sample(0.0, [], down_nodes=16)
         without = model.sample(0.0, [])
         assert with_down.idle_power_kw < without.idle_power_kw
+
+
+class TestRunningSetPowerAggregator:
+    """The incremental aggregator must reproduce the scanning evaluation."""
+
+    @pytest.fixture
+    def system(self, tiny_system):
+        return tiny_system
+
+    @pytest.fixture
+    def rig(self, system):
+        from repro.cluster import ResourceManager
+        from repro.power import RunningSetPowerAggregator
+
+        model = SystemPowerModel(system)
+        rm = ResourceManager(system)
+        return model, rm, RunningSetPowerAggregator(model, rm)
+
+    @staticmethod
+    def _assert_matches(aggregated, reference):
+        assert aggregated.allocated_nodes == reference.allocated_nodes
+        for field in (
+            "job_power_kw",
+            "idle_power_kw",
+            "loss_kw",
+            "mean_cpu_util",
+            "mean_gpu_util",
+        ):
+            assert getattr(aggregated, field) == pytest.approx(
+                getattr(reference, field), rel=1e-12, abs=1e-15
+            ), field
+
+    def test_matches_scan_across_breakpoints_and_membership(self, rig):
+        model, rm, agg = rig
+        phased = Profile([0.0, 120.0, 240.0], [0.2, 0.8, 0.5])
+        jobs = [
+            make_job(nodes=4, submit=0.0, duration=600.0, cpu_profile=phased),
+            make_job(nodes=2, submit=0.0, duration=600.0, cpu=0.6, gpu=0.3),
+        ]
+        for job in jobs:
+            job.mark_queued(0.0)
+            rm.allocate(job, 0.0)
+        for now in np.arange(0.0, 360.0, 15.0):
+            self._assert_matches(
+                agg.sample(now), model.sample(now, rm.running_jobs)
+            )
+        rm.release(jobs[1], 360.0)
+        for now in np.arange(360.0, 615.0, 15.0):
+            self._assert_matches(
+                agg.sample(now), model.sample(now, rm.running_jobs)
+            )
+
+    def test_recorded_power_trace_wins_over_model(self, rig):
+        model, rm, agg = rig
+        trace = Profile([0.0, 60.0, 60.5, 180.0], [500.0, 500.0, 750.0, 750.0])
+        job = make_job(nodes=3, submit=0.0, duration=300.0, node_power=trace)
+        job.mark_queued(0.0)
+        rm.allocate(job, 0.0)
+        for now in (0.0, 45.0, 60.0, 61.0, 200.0):
+            sample = agg.sample(now)
+            self._assert_matches(sample, model.sample(now, rm.running_jobs))
+        # Past the trace end the last value is held (gap-filling rule).
+        assert agg.sample(290.0).job_power_kw == pytest.approx(3 * 750.0 / 1000.0)
+
+    def test_off_grid_backdated_start_shifts_breakpoints(self, rig):
+        # Replay may backdate a start off the tick grid; elapsed-time
+        # indexing must follow the shifted change points exactly.
+        model, rm, agg = rig
+        phased = Profile([0.0, 100.0], [0.1, 0.9])
+        job = make_job(nodes=2, submit=0.0, duration=400.0, cpu_profile=phased)
+        job.mark_queued(0.0)
+        rm.allocate(job, 7.5)
+        for now in (15.0, 105.0, 107.5, 120.0):
+            self._assert_matches(agg.sample(now), model.sample(now, rm.running_jobs))
+
+    def test_idle_system_reports_exact_zero_job_power(self, rig):
+        model, rm, agg = rig
+        job = make_job(nodes=4, submit=0.0, duration=300.0, cpu=0.7)
+        job.mark_queued(0.0)
+        rm.allocate(job, 0.0)
+        assert agg.sample(0.0).job_power_kw > 0.0
+        rm.release(job, 300.0)
+        sample = agg.sample(300.0)
+        assert sample.job_power_kw == 0.0
+        assert sample.mean_cpu_util == 0.0
+        assert sample.mean_gpu_util == 0.0
+        assert sample.allocated_nodes == 0
+        self._assert_matches(sample, model.sample(300.0, rm.running_jobs))
+
+    def test_unsampled_membership_churn_is_caught_up(self, rig):
+        # Several allocations/releases between two samples (one epoch jump
+        # spanning many changes) must still land on the scan result.
+        model, rm, agg = rig
+        jobs = [
+            make_job(nodes=2, submit=0.0, duration=1000.0, cpu=0.1 * (i + 1))
+            for i in range(4)
+        ]
+        for job in jobs:
+            job.mark_queued(0.0)
+            rm.allocate(job, 0.0)
+        self._assert_matches(agg.sample(0.0), model.sample(0.0, rm.running_jobs))
+        rm.release(jobs[0], 100.0)
+        rm.release(jobs[2], 100.0)
+        late = make_job(nodes=8, submit=0.0, duration=500.0, gpu=0.9)
+        late.mark_queued(100.0)
+        rm.allocate(late, 100.0)
+        self._assert_matches(agg.sample(100.0), model.sample(100.0, rm.running_jobs))
+
+    def test_breakpoint_on_rounding_boundary_does_not_spin(self, rig):
+        # start + t can compare <= now while now - start < t in float64;
+        # the due-change loop must re-arm such a crossing strictly in the
+        # future instead of popping the identical heap entry forever.
+        model, rm, agg = rig
+        start = 1029209.9090649254
+        change = 262.40098236712504
+        boundary = start + change
+        assert boundary - start < change  # the pathological rounding holds
+        profile = Profile([0.0, change], [0.2, 0.9])
+        job = make_job(nodes=2, submit=start, start=start, duration=600.0,
+                       cpu_profile=profile)
+        job.mark_queued(start)
+        rm.allocate(job, start)
+        # Sampling exactly on the rounded boundary must terminate and match
+        # the scan (which still sees the pre-change value, elapsed < change).
+        self._assert_matches(
+            agg.sample(boundary), model.sample(boundary, rm.running_jobs)
+        )
+        # One ulp later the elapsed time crosses and the new value applies.
+        later = np.nextafter(boundary + 15.0, np.inf)
+        self._assert_matches(
+            agg.sample(later), model.sample(later, rm.running_jobs)
+        )

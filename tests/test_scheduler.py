@@ -402,3 +402,70 @@ class TestLedgerSafety:
         assert all(j.state is JobState.COMPLETED for j in result.jobs)
         deferred = next(j for j in result.jobs if j.nodes_required == 4)
         assert deferred.sim_start_time >= 600.0
+
+
+class TestBackfillNoOpMemoization:
+    """Redundant EASY passes are skipped on power-only (breakpoint) steps."""
+
+    def _blocked_setup(self, now=0.0):
+        system = get_system_config("tiny")
+        rm = ResourceManager(system)
+        hog = make_job(nodes=32, submit=0.0, duration=7200.0, wall_limit=7200.0)
+        hog.mark_queued(0.0)
+        rm.allocate(hog, now)
+        blocked = make_job(nodes=8, submit=0.0, duration=600.0, wall_limit=600.0)
+        blocked.mark_queued(0.0)
+        return system, rm, hog, blocked
+
+    def test_noop_is_memoized_until_epoch_changes(self):
+        _, rm, hog, blocked = self._blocked_setup()
+        scheduler = BackfillScheduler()
+        queue = (blocked,)
+        assert scheduler.schedule(queue, rm, 0.0) == []
+
+        calls = 0
+        original = rm.free_node_count
+
+        def counting(partition=None):
+            nonlocal calls
+            calls += 1
+            return original(partition)
+
+        rm.free_node_count = counting  # type: ignore[method-assign]
+        # Same epoch + same queue: the memo short-circuits before any
+        # inventory query, no matter how far the clock advanced.
+        assert scheduler.schedule(queue, rm, 1500.0) == []
+        assert calls == 0
+        # A release invalidates the memo and the job now starts.
+        rm.release(hog, 1800.0)
+        decisions = scheduler.schedule(queue, rm, 1800.0)
+        assert [d.job.job_id for d in decisions] == [blocked.job_id]
+        assert calls > 0
+
+    def test_queue_change_invalidates_memo(self):
+        _, rm, _, blocked = self._blocked_setup()
+        scheduler = BackfillScheduler()
+        assert scheduler.schedule((blocked,), rm, 0.0) == []
+        newcomer = make_job(nodes=40, submit=0.0, duration=600.0)  # never fits
+        newcomer.mark_queued(0.0)
+        assert scheduler.schedule((blocked, newcomer), rm, 0.0) == []
+        assert scheduler._noop_key is not None
+        assert scheduler._noop_key[1] == (blocked.job_id, newcomer.job_id)
+
+    def test_reset_clears_memo(self):
+        _, rm, _, blocked = self._blocked_setup()
+        scheduler = BackfillScheduler()
+        assert scheduler.schedule((blocked,), rm, 0.0) == []
+        assert scheduler._noop_key is not None
+        scheduler.reset()
+        assert scheduler._noop_key is None
+
+    def test_successful_decisions_are_never_memoized(self):
+        system = get_system_config("tiny")
+        rm = ResourceManager(system)
+        job = make_job(nodes=4, submit=0.0, duration=600.0)
+        job.mark_queued(0.0)
+        scheduler = BackfillScheduler()
+        decisions = scheduler.schedule((job,), rm, 0.0)
+        assert len(decisions) == 1
+        assert scheduler._noop_key is None

@@ -177,3 +177,103 @@ class TestConstantProfile:
         p = constant_profile(0.5, 100.0)
         assert len(p) == 2
         assert p.duration == 100.0
+
+
+class TestChangePoints:
+    """Profile.next_change_after / change_points edge cases."""
+
+    def test_repeated_equal_samples_are_not_breakpoints(self):
+        p = Profile([0.0, 60.0, 120.0, 180.0], [5.0, 5.0, 7.0, 7.0])
+        np.testing.assert_array_equal(p.change_points(), [120.0])
+        assert p.next_change_after(0.0) == 120.0
+        assert p.next_change_after(119.999) == 120.0
+        # "Strictly after": at the change point itself, nothing lies ahead.
+        assert p.next_change_after(120.0) is None
+        assert not p.is_constant()
+
+    def test_constant_profile_has_no_change_points(self):
+        p = Profile([0.0, 60.0, 120.0], [3.0, 3.0, 3.0])
+        assert p.change_points().size == 0
+        assert p.next_change_after(-100.0) is None
+        assert p.next_change_after(0.0) is None
+        assert p.is_constant()
+
+    def test_single_sample_profile(self):
+        p = Profile([0.0], [0.5])
+        assert p.change_points().size == 0
+        assert p.next_change_after(0.0) is None
+        assert p.is_constant()
+
+    def test_query_past_last_change(self):
+        p = Profile([0.0, 30.0, 90.0], [1.0, 2.0, 3.0])
+        assert p.next_change_after(90.0) is None
+        assert p.next_change_after(1e9) is None
+
+    def test_query_before_first_sample_sees_holdback_value(self):
+        # Value before t=10 is 1.0 (hold-back rule), unchanged at t=10, so
+        # the first change point is 20 even for queries far in the "past".
+        p = Profile([10.0, 20.0], [1.0, 2.0])
+        np.testing.assert_array_equal(p.change_points(), [20.0])
+        assert p.next_change_after(-5.0) == 20.0
+        assert p.next_change_after(0.0) == 20.0
+        assert p.next_change_after(15.0) == 20.0
+
+    def test_every_sample_differs(self):
+        p = Profile([0.0, 10.0, 20.0], [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(p.change_points(), [10.0, 20.0])
+        assert p.next_change_after(0.0) == 10.0
+        assert p.next_change_after(10.0) == 20.0
+
+    def test_change_grid_is_compressed_zoh(self):
+        p = Profile([0.0, 60.0, 120.0, 180.0], [5.0, 5.0, 7.0, 7.0])
+        times, values = p.change_grid()
+        np.testing.assert_array_equal(times, [0.0, 120.0])
+        np.testing.assert_array_equal(values, [5.0, 7.0])
+        # Grid starts at 0 even when the first sample is later.
+        times, values = Profile([10.0, 20.0], [1.0, 2.0]).change_grid()
+        np.testing.assert_array_equal(times, [0.0, 20.0])
+        np.testing.assert_array_equal(values, [1.0, 2.0])
+
+    def test_change_grid_matches_value_at(self, rng):
+        samples = rng.integers(0, 4, size=50).astype(float)
+        p = Profile(np.arange(50.0) * 15.0, samples)
+        grid_t, grid_v = p.change_grid()
+        for t in rng.uniform(-10.0, 800.0, size=200):
+            idx = max(0, int(np.searchsorted(grid_t, t, side="right")) - 1)
+            assert grid_v[idx] == p.value_at(t)
+
+    def test_change_arrays_are_read_only(self):
+        p = Profile([0.0, 10.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            p.change_points()[0] = 99.0
+        with pytest.raises(ValueError):
+            p.change_grid()[1][0] = 99.0
+
+
+class TestSingleCopyConstruction:
+    """Profile.__init__ must copy exactly once and never alias its inputs."""
+
+    def test_ndarray_input_is_not_aliased(self):
+        times = np.array([0.0, 10.0, 20.0])
+        values = np.array([1.0, 2.0, 3.0])
+        p = Profile(times, values)
+        times[0] = 999.0
+        values[0] = 999.0
+        assert p.times[0] == 0.0
+        assert p.values[0] == 1.0
+
+    def test_ndarray_input_arrays_are_read_only(self):
+        p = Profile(np.array([0.0, 10.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            p.times[0] = 5.0
+        with pytest.raises(ValueError):
+            p.values[0] = 5.0
+
+    def test_integer_ndarray_is_converted_to_float(self):
+        p = Profile(np.array([0, 10, 20]), np.array([1, 2, 3]))
+        assert p.times.dtype == np.float64
+        assert p.values.dtype == np.float64
+
+    def test_generator_input_still_works(self):
+        p = Profile((float(t) for t in (0, 10)), (float(v) for v in (1, 2)))
+        np.testing.assert_array_equal(p.times, [0.0, 10.0])

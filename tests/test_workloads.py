@@ -216,3 +216,40 @@ class TestSyntheticWorkloadGenerator:
         )
         assert len(jobs) > 50
         assert max(j.nodes_required for j in jobs) <= 9216
+
+
+class TestSampleNoise:
+    def _spec(self, sample_noise):
+        return WorkloadSpec(
+            sizes=JobSizeDistribution(max_nodes=8),
+            arrivals=WaveArrivals(rate_per_hour=10),
+            trace_interval_s=60.0,
+            phase_count_range=(2, 4),
+            sample_noise=sample_noise,
+        )
+
+    def test_zero_noise_yields_piecewise_constant_profiles(self, tiny_system):
+        jobs = SyntheticWorkloadGenerator(tiny_system, self._spec(0.0), seed=3).generate(
+            4 * 3600.0
+        )
+        assert jobs
+        for job in jobs:
+            for profile in (job.cpu_util, job.gpu_util, job.mem_util):
+                # At most phases-1 = 3 value changes, regardless of how many
+                # 60 s samples spell the phases out.
+                assert profile.change_points().size <= 3
+
+    def test_noise_scale_does_not_perturb_other_draws(self, tiny_system):
+        noisy = SyntheticWorkloadGenerator(tiny_system, self._spec(1.0), seed=3).generate(
+            4 * 3600.0
+        )
+        flat = SyntheticWorkloadGenerator(tiny_system, self._spec(0.0), seed=3).generate(
+            4 * 3600.0
+        )
+        assert [j.submit_time for j in noisy] == [j.submit_time for j in flat]
+        assert [j.nodes_required for j in noisy] == [j.nodes_required for j in flat]
+        assert [j.duration for j in noisy] == [j.duration for j in flat]
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._spec(-0.1)
