@@ -20,13 +20,27 @@ numbers written to ``BENCH_engine.json`` in the repository root:
     telemetry-replay-shaped workloads where the old constant-power veto
     forced dense ticking.
 
+``engine_frontier_scale``
+    A 12 h window on the 9,600-node ``frontier`` system holding ~2,000
+    concurrently running jobs, run three ways: dense, event-driven with the
+    O(log R) event indexes (end-time heap + breakpoint heap, the default)
+    and event-driven with the historical O(R) running-set scans
+    (``event_index=False``). The scan-vs-heap wall-clock-per-step
+    comparison is the point: with heaps the per-step cost no longer scales
+    with the running-set size (compare against the 24 h busy trace, whose
+    running set is ~100x smaller), while the summaries stay identical.
+
 The script doubles as the CI metrics gate: ``--golden PATH`` compares the
 24 h run's summary against a committed golden record and exits non-zero on
 drift beyond 1e-6 relative tolerance; ``--write-golden PATH`` refreshes the
 record after an intentional semantic change. Independently of the golden
-record, the dense-vs-event summary drift of the idle-heavy and busy-trace
-benchmarks is gated at 1e-9 relative — the equivalence guarantee is part of
-the engine's contract, so CI fails if coalescing ever changes a metric.
+record, the dense-vs-event summary drift of the idle-heavy, busy-trace and
+frontier-scale benchmarks is gated at 1e-9 relative — the equivalence
+guarantee is part of the engine's contract, so CI fails if coalescing ever
+changes a metric. The frontier-scale benchmark additionally gates the
+scan-vs-heap drift at 1e-9 (the event indexes change complexity, not
+semantics) and requires >= 1000 concurrently running jobs, so the workload
+can never silently shrink below the scale the benchmark exists to cover.
 
 Usage::
 
@@ -52,6 +66,7 @@ from repro.workloads import (
     WorkloadSpec,
     busy_trace_spec,
     default_workload_spec,
+    frontier_scale_spec,
 )
 from repro.workloads.distributions import (
     JobSizeDistribution,
@@ -81,18 +96,22 @@ def idle_heavy_spec() -> WorkloadSpec:
     )
 
 
-def _timed_run(system, workload, policy, seed, *, dense_ticks=False):
+def _timed_run(system, workload, policy, seed, *, dense_ticks=False, event_index=True):
     engine = SimulationEngine(
-        system, workload, policy, seed=seed, dense_ticks=dense_ticks
+        system, workload, policy, seed=seed, dense_ticks=dense_ticks,
+        event_index=event_index,
     )
     started = time.perf_counter()
     result = engine.run()
     elapsed = time.perf_counter() - started
     summary = result.summary()
+    steps = summary["ticks"]
     return summary, {
         "wall_s": elapsed,
-        "steps": summary["ticks"],
-        "steps_per_s": summary["ticks"] / elapsed if elapsed > 0 else 0.0,
+        "steps": steps,
+        "steps_per_s": steps / elapsed if elapsed > 0 else 0.0,
+        "wall_us_per_step": 1e6 * elapsed / steps if steps else 0.0,
+        "max_running_jobs": max((t.running_jobs for t in result.stats.ticks), default=0),
         "simulated_s": summary["simulated_s"],
         "speedup_vs_realtime": summary["simulated_s"] / elapsed if elapsed > 0 else 0.0,
     }
@@ -181,6 +200,52 @@ def bench_busy_trace(args, system):
     )
 
 
+def bench_frontier_scale(args):
+    """Thousands of concurrent jobs: event-index heaps vs running-set scans."""
+    system = get_system_config(args.frontier_system)
+    duration_s = parse_duration(args.frontier_duration)
+    generator = SyntheticWorkloadGenerator(system, frontier_scale_spec(), seed=args.seed)
+    workload = generator.generate(duration_s)
+
+    dense_summary, dense = _timed_run(
+        system, workload, args.policy, args.seed, dense_ticks=True
+    )
+    event_summary, event = _timed_run(system, workload, args.policy, args.seed)
+    scan_summary, scan = _timed_run(
+        system, workload, args.policy, args.seed, event_index=False
+    )
+
+    record = {
+        "benchmark": "engine_frontier_scale",
+        "system": system.name,
+        "policy": args.policy,
+        "duration": args.frontier_duration,
+        "seed": args.seed,
+        "jobs": len(workload),
+        "max_running_jobs": event["max_running_jobs"],
+        "mean_utilization": event_summary["mean_utilization"],
+        "dense": dense,
+        "event_driven": event,
+        "event_driven_scan": scan,
+        "step_reduction": dense["steps"] / event["steps"] if event["steps"] else math.inf,
+        "scan_vs_heap_wall_ratio": (
+            scan["wall_s"] / event["wall_s"] if event["wall_s"] else math.inf
+        ),
+        "max_summary_drift_rel": _summary_drift(event_summary, dense_summary),
+        "scan_vs_heap_drift_rel": _summary_drift(scan_summary, event_summary),
+    }
+    print(
+        f"frontier-scale: {len(workload)} jobs over {args.frontier_duration}, "
+        f"{event['max_running_jobs']} max concurrent; "
+        f"{event['wall_us_per_step']:.0f}us/step with event heaps vs "
+        f"{scan['wall_us_per_step']:.0f}us/step with running-set scans "
+        f"({record['scan_vs_heap_wall_ratio']:.1f}x), "
+        f"scan drift {record['scan_vs_heap_drift_rel']:.2e}, "
+        f"dense drift {record['max_summary_drift_rel']:.2e}"
+    )
+    return record
+
+
 def _is_finite_number(value) -> bool:
     return (
         isinstance(value, (int, float))
@@ -255,6 +320,8 @@ def main() -> int:
     parser.add_argument("--duration", default="24h")
     parser.add_argument("--idle-duration", default="3d")
     parser.add_argument("--busy-duration", default="24h")
+    parser.add_argument("--frontier-system", default="frontier")
+    parser.add_argument("--frontier-duration", default="12h")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -275,10 +342,12 @@ def main() -> int:
     window_record, window_summary = bench_24h_window(args, system)
     idle_record = bench_idle_heavy(args, system)
     busy_record = bench_busy_trace(args, system)
+    frontier_record = bench_frontier_scale(args)
 
     record = dict(window_record)
     record["idle_heavy"] = idle_record
     record["busy_trace"] = busy_record
+    record["frontier_scale"] = frontier_record
     record["python"] = platform.python_version()
     record["machine"] = platform.machine()
     # Same strict-JSON convention as StatsCollector.to_json: non-finite
@@ -305,15 +374,30 @@ def main() -> int:
         print(f"golden record written -> {args.write_golden}")
 
     # Dense-vs-event equivalence gate: the coalescing engine's summaries
-    # must be indistinguishable from dense ticking on both the idle-heavy
-    # and the busy (breakpoint-dense) workload. Unlike the golden record,
-    # this invariant is never legitimately refreshed.
+    # must be indistinguishable from dense ticking on the idle-heavy, busy
+    # (breakpoint-dense) and frontier-scale workloads. Unlike the golden
+    # record, this invariant is never legitimately refreshed.
     equivalence_failures = [
         f"{rec['benchmark']}: dense-vs-event summary drift "
         f"{rec['max_summary_drift_rel']:.3e} > {EQUIVALENCE_RTOL:.0e}"
-        for rec in (idle_record, busy_record)
+        for rec in (idle_record, busy_record, frontier_record)
         if not rec["max_summary_drift_rel"] <= EQUIVALENCE_RTOL
     ]
+    # The event indexes (end-time heap, breakpoint heap) change complexity,
+    # never semantics: the scan path must reproduce the heap path exactly.
+    if not frontier_record["scan_vs_heap_drift_rel"] <= EQUIVALENCE_RTOL:
+        equivalence_failures.append(
+            f"{frontier_record['benchmark']}: scan-vs-heap summary drift "
+            f"{frontier_record['scan_vs_heap_drift_rel']:.3e} > "
+            f"{EQUIVALENCE_RTOL:.0e}"
+        )
+    # The frontier-scale benchmark only means something at frontier scale.
+    if frontier_record["max_running_jobs"] < 1000:
+        equivalence_failures.append(
+            f"{frontier_record['benchmark']}: only "
+            f"{frontier_record['max_running_jobs']} concurrent jobs "
+            "(>= 1000 required)"
+        )
     if equivalence_failures:
         for failure in equivalence_failures:
             print(failure, file=sys.stderr)

@@ -71,6 +71,20 @@ class ResourceManager:
         self._allocated_count = 0
         self._epoch = 0
 
+        # End-time index: a min-heap of (end time, job id) entries plus the
+        # authoritative job-id -> end-time map. Entries are pushed on
+        # allocate; a release (early, e.g. horizon truncation) merely drops
+        # the map entry, leaving the heap entry stale — stale entries are
+        # recognised on access (map disagrees with the entry) and popped
+        # exactly once, never to be revisited. complete_finished_jobs and
+        # next_job_end are thereby O(k log R) for k due/stale entries
+        # instead of a full running-set scan. ``scan_completions`` restores
+        # the O(running jobs) scan (identical semantics), kept for the
+        # benchmark comparison and as a differential-testing aid.
+        self._end_heap: list[tuple[float, int]] = []
+        self._end_of: dict[int, float] = {}
+        self.scan_completions = False
+
     # -- inventory queries -----------------------------------------------------
 
     @property
@@ -221,6 +235,9 @@ class ResourceManager:
         self._running[job.job_id] = job
         self._allocated_count += len(chosen)
         self._epoch += 1
+        end_time = now + job.duration
+        self._end_of[job.job_id] = end_time
+        heapq.heappush(self._end_heap, (end_time, job.job_id))
         return chosen
 
     def release(self, job: Job, now: float) -> None:
@@ -231,6 +248,9 @@ class ResourceManager:
             self.nodes[nid].release(now)
             self._mark_free(nid)
         del self._running[job.job_id]
+        # The heap entry goes stale (the map no longer vouches for it) and
+        # is discarded lazily the next time it surfaces.
+        self._end_of.pop(job.job_id, None)
         self._allocated_count -= len(job.assigned_nodes)
         self._epoch += 1
         if job.state is JobState.RUNNING:
@@ -241,16 +261,41 @@ class ResourceManager:
 
         This is step (1) of the engine loop — clearing completed jobs before
         new submissions and scheduling, which resolves same-timestep
-        end/start collisions on a node.
+        end/start collisions on a node. A job is due once its indexed end
+        time ``sim_start + duration`` — the exact event bound the engine
+        coalesces towards — is at or before ``now``. This supersedes the
+        historical elapsed-time comparison (``now - sim_start >=
+        duration``), which could disagree with the event bound by one ulp
+        and leave the engine stepping onto a release tick that then
+        released nothing; the two conditions differ only in sub-ulp float
+        cases, where the indexed form releases one grid tick earlier and
+        drops the spurious extra step.
+
+        The due set comes from the end-time min-heap: ``O(k log R)`` for
+        ``k`` due jobs (plus any stale entries surfacing, each discarded
+        exactly once) instead of a scan of the running set. Setting
+        :attr:`scan_completions` restores the scan; both paths release the
+        same jobs in the same (job-id) order at the same end times.
         """
-        finished = [
-            job
-            for job in self._running.values()
-            if job.sim_start_time is not None
-            and now - job.sim_start_time >= job.duration
-        ]
-        for job in sorted(finished, key=lambda j: j.job_id):
-            end_time = (job.sim_start_time or 0.0) + job.duration
+        if self.scan_completions:
+            finished = [
+                job
+                for job in self._running.values()
+                if job.sim_start_time is not None
+                and self._end_of[job.job_id] <= now
+            ]
+            finished.sort(key=lambda j: j.job_id)
+        else:
+            finished = []
+            while (entry := self._peek_live_end()) is not None:
+                end_time, job_id = entry
+                if end_time > now:
+                    break
+                heapq.heappop(self._end_heap)
+                finished.append(self._running[job_id])
+            finished.sort(key=lambda j: j.job_id)
+        for job in finished:
+            end_time = self._end_of.pop(job.job_id)
             for nid in job.assigned_nodes:
                 self.nodes[nid].release(end_time)
                 self._mark_free(nid)
@@ -259,6 +304,33 @@ class ResourceManager:
             self._epoch += 1
             job.mark_completed(end_time)
         return finished
+
+    def next_job_end(self) -> float | None:
+        """Earliest indexed end time over the running set, or ``None``.
+
+        Peeks the end-time heap, discarding stale entries as they surface,
+        so the amortised cost is ``O(log R)`` — the engine's event-driven
+        coalescing uses this as the running-set release bound instead of a
+        per-step scan.
+        """
+        entry = self._peek_live_end()
+        return entry[0] if entry is not None else None
+
+    def _peek_live_end(self) -> tuple[float, int] | None:
+        """Top live ``(end time, job id)`` heap entry, or ``None``.
+
+        Encodes the lazy-deletion rule in one place: an entry the map no
+        longer vouches for is stale and is popped exactly once, never to
+        be revisited.
+        """
+        heap = self._end_heap
+        while heap:
+            end_time, job_id = heap[0]
+            if self._end_of.get(job_id) != end_time:
+                heapq.heappop(heap)
+                continue
+            return end_time, job_id
+        return None
 
     # -- helpers -----------------------------------------------------------------
 

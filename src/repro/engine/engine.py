@@ -117,6 +117,15 @@ class SimulationEngine:
         coalescing event-free intervals. Summary metrics are identical
         either way; dense mode exists for consumers of the exact per-tick
         time series.
+    event_index:
+        When true (the default) the per-step release check and the
+        coalescing event bound come from heaps — the resource manager's
+        lazy-deletion end-time heap and the power aggregator's breakpoint
+        heap — making an event-free step ``O(log R)`` in the running-set
+        size ``R``. ``False`` restores the ``O(R)`` scans (identical
+        results, job by job and tick by tick); the flag exists for the
+        frontier-scale benchmark's scan-vs-heap comparison and as a
+        differential-testing aid.
     """
 
     def __init__(
@@ -128,6 +137,7 @@ class SimulationEngine:
         seed: int = 0,
         horizon_s: float | None = None,
         dense_ticks: bool = False,
+        event_index: bool = True,
     ) -> None:
         self.system = system
         if isinstance(scheduler, Scheduler):
@@ -152,6 +162,8 @@ class SimulationEngine:
         self.seed = seed
         self.horizon_s = horizon_s
         self.dense_ticks = dense_ticks
+        self.event_index = event_index
+        self.resource_manager.scan_completions = not event_index
 
         self.jobs = [job.copy_for_simulation() for job in jobs]
         self._pending: deque[Job] = deque(
@@ -235,9 +247,12 @@ class SimulationEngine:
             self._queue.append(job)
 
         # (3) Scheduling decisions, executed through the resource manager.
+        # The queue is handed over as-is (policies treat it read-only);
+        # copying it into a tuple per step would cost O(queue) even on
+        # steps where the policy is memoized to a no-op.
         if self._queue:
             decisions = self.scheduler.schedule(
-                tuple(self._queue), self.resource_manager, now
+                self._queue, self.resource_manager, now
             )
             started: set[int] = set()
             for decision in decisions:
@@ -266,12 +281,14 @@ class SimulationEngine:
 
         # (3b) Event-driven coalescing: how much simulated time this sample
         # stands for. Stays one tick in dense mode or whenever anything can
-        # change before the next event.
-        running = self.resource_manager.running_jobs
+        # change before the next event. Only the running-set *size* is
+        # needed from here on — materialising (and sorting) the job list
+        # every step would reintroduce an O(R log R) pass.
+        running_count = len(self.resource_manager.running_by_id)
         if self.dense_ticks:
             dt_s = timestep
         else:
-            dt_s = self._coalesced_dt(now, timestep, running)
+            dt_s = self._coalesced_dt(now, timestep)
         # A sample never extends past the horizon: the run is cut there, so
         # integrating energy (or stepping the cooling plant) over the rest
         # of the tick would credit time the window never contained. Applies
@@ -286,8 +303,9 @@ class SimulationEngine:
         # (immutable after the seed draw) down count; the power aggregator
         # reuses cached per-job contributions, so the power evaluation of an
         # event-free step is O(1) — profile lookups and model evaluations
-        # never rescan the running set. (The step as a whole still makes one
-        # O(running jobs) pass for release checks and event bounds.)
+        # never rescan the running set. With the default event index the
+        # release check and event bounds are heap-backed too, so an
+        # event-free step is O(log R) end to end.
         allocated = self.resource_manager.allocated_nodes
         down = self.resource_manager.down_nodes
         power = self.power_aggregator.sample(
@@ -308,7 +326,7 @@ class SimulationEngine:
             utilization=(
                 allocated / self._in_service_nodes if self._in_service_nodes else 0.0
             ),
-            running_jobs=len(running),
+            running_jobs=running_count,
             queued_jobs=len(self._queue),
         )
         self.now = now + dt_s
@@ -359,7 +377,7 @@ class SimulationEngine:
 
     # -- event-driven time advancement -----------------------------------------
 
-    def _coalesced_dt(self, now: float, timestep: float, running: list[Job]) -> float:
+    def _coalesced_dt(self, now: float, timestep: float) -> float:
         """Simulated time the current sample may stand for (a tick multiple).
 
         The engine may jump over grid ticks on which a dense run would
@@ -373,13 +391,23 @@ class SimulationEngine:
         breakpoints), since every skipped grid tick up to that point
         provably samples the same power as the recorded one.
 
+        The running-set bounds are O(log R): the earliest job end comes from
+        the resource manager's end-time heap
+        (:meth:`~repro.cluster.ResourceManager.next_job_end`) and the
+        earliest profile breakpoint from the power aggregator's change heap
+        (:meth:`~repro.power.RunningSetPowerAggregator.next_breakpoint_after`)
+        — both maintain the exact per-job times the per-job scan used to
+        re-derive, so the chosen interval is float-identical. With
+        ``event_index=False`` the historical O(R) scan computes the same
+        bounds job by job (the benchmark's comparison baseline).
+
         Returns ``k * timestep`` where ``now + k * timestep`` is the first
         grid tick that processes the next event — exactly the tick a dense
         run would next act on (including the tick that first sees a profile
         breakpoint, which may itself lie off-grid for replay-backdated
         starts).
         """
-        hint = self.scheduler.next_event_hint(tuple(self._queue), now)
+        hint = self.scheduler.next_event_hint(self._queue, now)
         if hint is not None and hint <= now:
             return timestep
         events: list[float] = []
@@ -387,12 +415,20 @@ class SimulationEngine:
             events.append(hint)
         if self._pending:
             events.append(self._pending[0].submit_time)
-        for job in running:
-            start = job.sim_start_time if job.sim_start_time is not None else now
-            events.append(start + job.duration)
-            next_change = job.next_power_change_after(now)
+        if self.event_index:
+            next_end = self.resource_manager.next_job_end()
+            if next_end is not None:
+                events.append(next_end)
+            next_change = self.power_aggregator.next_breakpoint_after(now)
             if next_change is not None:
                 events.append(next_change)
+        else:
+            for job in self.resource_manager.running_by_id.values():
+                start = job.sim_start_time if job.sim_start_time is not None else now
+                events.append(start + job.duration)
+                next_change = job.next_power_change_after(now)
+                if next_change is not None:
+                    events.append(next_change)
         if not events:
             # Nothing queued, pending or running: this is the final sample
             # and the run ends at the next tick — jumping to a far-away

@@ -93,6 +93,10 @@ class Scheduler(abc.ABC):
         ----------
         queue:
             Queued jobs in submission order (submit time, then job id).
+            The engine passes its live queue without copying: policies
+            must treat it as read-only — never mutate, reorder or retain
+            it past the call (take a sorted/filtered copy instead, as
+            :class:`ReplayScheduler` does).
         resource_manager:
             Read-only view of the node inventory. Policies must not call
             its mutating methods.
@@ -116,7 +120,8 @@ class Scheduler(abc.ABC):
         of their own); return a time ``<= now`` to veto coalescing
         entirely. The engine calls this *after* :meth:`schedule` within a
         tick, so the queue contains only jobs the policy just declined to
-        start.
+        start. As with :meth:`schedule`, the queue is the engine's live
+        list and must be treated as read-only.
 
         The default is conservative: a non-empty queue vetoes coalescing,
         an empty queue allows it freely.
@@ -143,19 +148,31 @@ class ReplayScheduler(Scheduler):
 
     def __init__(self) -> None:
         self._delayed: set[int] = set()
+        #: (now, job ids expected in the queue after the engine executes
+        #: the returned decisions, earliest future recorded start) stashed
+        #: by :meth:`schedule` so the engine's same-tick
+        #: :meth:`next_event_hint` call skips the sort and the per-job due
+        #: checks. Jobs the engine starts between the two calls are all
+        #: *due* (recorded start <= now), so removing them from the queue
+        #: can never change the future-start minimum; the exact id match
+        #: guards direct callers that drop the decisions on the floor or
+        #: present a different queue.
+        self._hint_stash: tuple[float, frozenset[int], float | None] | None = None
 
     def reset(self) -> None:
         self._delayed.clear()
+        self._hint_stash = None
 
     def schedule(
         self, queue: Sequence[Job], resource_manager: ResourceManager, now: float
     ) -> list[SchedulingDecision]:
-        due = [
-            job
-            for job in sorted(queue, key=lambda j: (j.start_time, j.job_id))
-            if job.start_time <= now
-        ]
+        ordered = sorted(queue, key=lambda j: (j.start_time, j.job_id))
+        due = [job for job in ordered if job.start_time <= now]
+        future_min = ordered[len(due)].start_time if len(due) < len(ordered) else None
         if not due:
+            self._hint_stash = (
+                now, frozenset(job.job_id for job in ordered), future_min
+            )
             return []
         exact_jobs: list[Job] = []
         flex_jobs: list[Job] = []
@@ -220,6 +237,14 @@ class ReplayScheduler(Scheduler):
                     job, node_ids=chosen, start_time=self._start_time(job, now)
                 )
             )
+        started_ids = {decision.job.job_id for decision in decisions}
+        self._hint_stash = (
+            now,
+            frozenset(
+                job.job_id for job in ordered if job.job_id not in started_ids
+            ),
+            future_min,
+        )
         return decisions
 
     def _start_time(self, job: Job, now: float) -> float:
@@ -239,7 +264,28 @@ class ReplayScheduler(Scheduler):
         release — which the engine tracks as an event of its own. A due
         job that has *not* been attempted yet (``schedule`` not called)
         vetoes coalescing.
+
+        When :meth:`schedule` already ran at this ``now`` on this exact
+        residual queue (the engine's calling order), its stashed
+        future-start minimum answers without re-sorting or re-checking
+        dueness; any job it started since was due, so the stash cannot
+        have gone stale. Any other caller — schedule skipped, its
+        decisions dropped, a different queue — fails the id match and
+        falls back to the O(queue) scan.
         """
+        if not queue:
+            return None
+        if self._hint_stash is not None:
+            stash_now, expected_ids, future_min = self._hint_stash
+            if (
+                stash_now == now
+                and len(queue) == len(expected_ids)
+                and all(job.job_id in expected_ids for job in queue)
+            ):
+                # Every due job was either started (left the queue) or
+                # recorded in _delayed by the schedule() call that filled
+                # the stash, so the veto case cannot arise here.
+                return future_min
         hint: float | None = None
         for job in queue:
             if job.start_time > now:

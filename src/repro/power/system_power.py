@@ -224,7 +224,14 @@ class _JobPowerState:
         self.start = job.sim_start_time if job.sim_start_time is not None else now
         nodes = job.nodes_required
         grids = [profile.change_grid()[0] for profile in job.power_profiles()]
-        times = np.unique(np.concatenate(grids))
+        if all(grid.size == 1 for grid in grids):
+            # All profiles constant: every grid is exactly [0.0], so the
+            # union is too — skip the concatenate/unique round-trip, which
+            # dominates state construction on summary-only (scalar
+            # telemetry) workloads at frontier scale.
+            times = grids[0]
+        else:
+            times = np.unique(np.concatenate(grids))
         cpu_values = job.cpu_util.values_at(times)
         gpu_values = job.gpu_util.values_at(times)
         if job.node_power is not None:
@@ -305,10 +312,7 @@ class RunningSetPowerAggregator:
         down_nodes: int = 0,
     ) -> SystemPowerSample:
         """System power at ``now``, recomputing only what changed."""
-        if self._rm.epoch != self._epoch:
-            self._sync_membership(now)
-            self._epoch = self._rm.epoch
-        self._apply_due_changes(now)
+        self._refresh(now)
         if allocated_nodes is None:
             allocated_nodes = self._nodes_busy
         return self._model.compose_sample(
@@ -321,7 +325,42 @@ class RunningSetPowerAggregator:
             down_nodes=down_nodes,
         )
 
+    def next_breakpoint_after(self, now: float) -> float | None:
+        """Earliest upcoming profile change time on the running set, or ``None``.
+
+        This is the stable event-bound API the engine's coalescing consumes:
+        the minimum of the per-job ``next_change`` times the aggregator
+        already maintains in its heap, so the query is ``O(log R)`` amortised
+        (stale entries of ended jobs are discarded as they surface) instead
+        of a per-job profile scan. The cached state is brought up to ``now``
+        first — membership synced against the resource manager's epoch, due
+        crossings applied — exactly as :meth:`sample` would, so calling this
+        before :meth:`sample` within a step changes nothing but the moment
+        the (idempotent) refresh happens. Every returned time is strictly
+        after ``now`` and float-identical to the corresponding
+        :meth:`Job.next_power_change_after` bound.
+        """
+        self._refresh(now)
+        changes = self._changes
+        while changes:
+            change_time, job_id = changes[0]
+            state = self._states.get(job_id)
+            if state is None or state.next_change != change_time:
+                heapq.heappop(changes)  # stale: job ended or entry superseded
+                continue
+            return change_time
+        return None
+
     # -- internals -----------------------------------------------------------
+
+    def _refresh(self, now: float) -> None:
+        """Bring the cached state up to ``now`` (idempotent within a step):
+        sync membership against the resource manager's epoch, then apply
+        every profile crossing due at or before ``now``."""
+        if self._rm.epoch != self._epoch:
+            self._sync_membership(now)
+            self._epoch = self._rm.epoch
+        self._apply_due_changes(now)
 
     def _sync_membership(self, now: float) -> None:
         """Diff the cached job set against the resource manager's."""

@@ -66,6 +66,10 @@ def parse_swf(
     default_cpu_util:
         CPU utilization assigned to jobs, since SWF carries no telemetry.
     """
+    if processors_per_node <= 0:
+        raise DataLoaderError(
+            f"processors_per_node must be positive, got {processors_per_node}"
+        )
     jobs: list[Job] = []
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
@@ -76,7 +80,12 @@ def parse_swf(
             raise DataLoaderError(
                 f"SWF line {line_no}: expected 18 fields, got {len(parts)}"
             )
-        values = dict(zip(SWF_FIELDS, (float(p) for p in parts[:18])))
+        try:
+            values = dict(zip(SWF_FIELDS, (float(p) for p in parts[:18])))
+        except ValueError as exc:
+            raise DataLoaderError(
+                f"SWF line {line_no}: non-numeric field ({exc})"
+            ) from exc
         submit = values["submit_time"]
         wait = max(0.0, values["wait_time"]) if values["wait_time"] != _MISSING else 0.0
         run = values["run_time"]

@@ -21,11 +21,13 @@ from .synthetic import (
     WorkloadSpec,
     busy_trace_spec,
     default_workload_spec,
+    frontier_scale_spec,
 )
 
 __all__ = [
     "busy_trace_spec",
     "default_workload_spec",
+    "frontier_scale_spec",
     "JobSizeDistribution",
     "PoissonArrivals",
     "RuntimeDistribution",

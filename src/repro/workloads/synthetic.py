@@ -134,6 +134,31 @@ def busy_trace_spec() -> WorkloadSpec:
     )
 
 
+def frontier_scale_spec() -> WorkloadSpec:
+    """A frontier-scale workload: thousands of concurrently running jobs.
+
+    Sized for the 9,600-node ``frontier`` system: ~600 small (1-16 node)
+    jobs per hour with a ~3 h median runtime hold roughly 2,000 jobs on the
+    machine at once — the running-set size of the paper's telemetry replays,
+    and the regime the engine's O(log R) event indexes (end-time heap,
+    breakpoint heap) exist for. Scalar telemetry (``trace_interval_s=None``)
+    matches the summary-only datasets (Fugaku, Lassen, Adastra) and makes
+    every step's cost be release checks and event bounds — exactly the
+    paths the frontier-scale benchmark compares heap vs scan on. Shared by
+    ``scripts/bench_engine.py`` and the frontier-scale regression test so
+    the two can never drift apart.
+    """
+    return WorkloadSpec(
+        sizes=JobSizeDistribution(min_nodes=1, max_nodes=16),
+        runtimes=RuntimeDistribution(
+            median_s=3 * 3600.0, sigma=0.5, min_s=1800.0, max_s=8 * 3600.0
+        ),
+        arrivals=WaveArrivals(rate_per_hour=600.0, amplitude=0.2),
+        trace_interval_s=None,
+        generate_power_trace=False,
+    )
+
+
 class SyntheticWorkloadGenerator:
     """Generate a reproducible synthetic workload for a system.
 

@@ -291,3 +291,134 @@ class TestEpochAndCounters:
             view[job.job_id + 1] = job  # type: ignore[index]
         rm.release(job, 10.0)
         assert job.job_id not in rm.running_by_id
+
+
+def _allocate(rm, job, now=0.0):
+    job.mark_queued(now)
+    rm.allocate(job, now)
+    return job
+
+
+def _heap_invariants(rm):
+    """Assert the end-time index invariants the engine relies on.
+
+    Every running job has exactly one *live* heap entry whose key is its
+    ``sim_start + duration``; everything else in the heap is stale (its
+    job has been released) and must be vouched for by nothing.
+    """
+    live = {
+        job_id: job.sim_start_time + job.duration
+        for job_id, job in rm.running_by_id.items()
+    }
+    assert rm._end_of == live
+    heap_live = [(end, jid) for end, jid in rm._end_heap if rm._end_of.get(jid) == end]
+    assert sorted(heap_live) == sorted((end, jid) for jid, end in live.items())
+
+
+class TestEndTimeHeap:
+    """The lazy-deletion end-time heap behind O(k log R) completions."""
+
+    def test_allocate_indexes_end_time(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = _allocate(rm, make_job(nodes=2, duration=600.0))
+        assert rm.next_job_end() == pytest.approx(600.0)
+        _heap_invariants(rm)
+
+    def test_next_job_end_empty(self, tiny_system):
+        assert ResourceManager(tiny_system).next_job_end() is None
+
+    def test_early_release_leaves_stale_entry_popped_once(self, tiny_system):
+        # A job released before its natural end (horizon truncation,
+        # cancellation) leaves its heap entry stale; the first access
+        # discards it permanently — it is never revisited.
+        rm = ResourceManager(tiny_system)
+        early = _allocate(rm, make_job(nodes=2, duration=1000.0))
+        later = _allocate(rm, make_job(nodes=1, duration=2000.0))
+        rm.release(early, 10.0)  # entry (1000.0, early.job_id) is now stale
+        assert any(jid == early.job_id for _, jid in rm._end_heap)
+        assert rm.next_job_end() == pytest.approx(2000.0)  # pops the stale entry
+        assert all(jid != early.job_id for _, jid in rm._end_heap)
+        _heap_invariants(rm)
+        # The stale entry is gone for good: completing at its old end time
+        # must not touch the released job again.
+        assert rm.complete_finished_jobs(1000.0) == []
+        assert rm.complete_finished_jobs(2000.0) == [later]
+        assert rm._end_heap == []
+        _heap_invariants(rm)
+
+    def test_duplicate_end_times_complete_in_job_id_order(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        jobs = [
+            _allocate(rm, make_job(nodes=1, duration=300.0)) for _ in range(4)
+        ]
+        finished = rm.complete_finished_jobs(300.0)
+        assert finished == sorted(jobs, key=lambda j: j.job_id)
+        assert all(j.sim_end_time == pytest.approx(300.0) for j in finished)
+        assert rm._end_heap == [] and rm._end_of == {}
+
+    def test_completion_does_not_disturb_later_entries(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        short = _allocate(rm, make_job(nodes=1, duration=100.0))
+        long = _allocate(rm, make_job(nodes=1, duration=900.0))
+        assert rm.complete_finished_jobs(100.0) == [short]
+        _heap_invariants(rm)
+        assert rm.next_job_end() == pytest.approx(900.0)
+        assert rm.complete_finished_jobs(500.0) == []
+        assert rm.complete_finished_jobs(900.0) == [long]
+
+    def test_scan_and_heap_paths_release_identically(self, tiny_system):
+        # scan_completions is the benchmark's comparison baseline: both
+        # paths must release the same jobs in the same order at the same
+        # end times.
+        def run(scan):
+            rm = ResourceManager(tiny_system)
+            rm.scan_completions = scan
+            jobs = [
+                _allocate(rm, make_job(nodes=1, duration=d))
+                for d in (300.0, 100.0, 300.0, 777.25)
+            ]
+            index_of = {job.job_id: i for i, job in enumerate(jobs)}
+            released = []
+            rm.release(jobs[1], 50.0)  # early release -> stale entry
+            for now in (0.0, 299.0, 300.0, 800.0):
+                released.extend(
+                    (now, index_of[j.job_id], j.sim_end_time)
+                    for j in rm.complete_finished_jobs(now)
+                )
+            return released
+
+        assert run(scan=False) == run(scan=True)
+
+    @given(
+        plan=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=2000.0),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_under_churn(self, plan):
+        # Epoch churn: interleaved allocations, early releases and
+        # completions (duplicate end times included via coarse rounding)
+        # must keep the heap and the running set consistent throughout.
+        system = get_system_config("tiny")
+        rm = ResourceManager(system)
+        now = 0.0
+        for duration, release_early in plan:
+            duration = round(duration / 300.0) * 300.0  # force duplicates
+            if rm.free_node_count() >= 1:
+                job = make_job(nodes=1, submit=now, start=now, duration=duration)
+                job.mark_queued(now)
+                rm.allocate(job, now)
+                if release_early and duration > 0:
+                    rm.release(job, now)
+            now += 150.0
+            rm.complete_finished_jobs(now)
+            _heap_invariants(rm)
+        rm.complete_finished_jobs(now + 4000.0)
+        assert rm.running_by_id == {}
+        assert rm._end_of == {}
+        _heap_invariants(rm)

@@ -345,6 +345,79 @@ class TestEventDrivenEquivalence:
         _summaries_equal(sparse.summary(), dense.summary())
 
 
+class TestEventIndexEquivalence:
+    """The O(log R) event indexes must change complexity, never semantics."""
+
+    def test_scan_path_matches_heap_path_exactly(self, tiny_system):
+        # event_index=False restores the O(R) running-set scans; on the
+        # breakpoint-dense busy trace both paths must produce the exact
+        # same summary — including the step count — not merely 1e-9-close.
+        jobs = SyntheticWorkloadGenerator(
+            tiny_system, busy_trace_spec(), seed=7
+        ).generate(6 * 3600.0)
+        heap = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], "backfill", seed=7
+        ).run()
+        scan = SimulationEngine(
+            tiny_system,
+            [j.copy_for_simulation() for j in jobs],
+            "backfill",
+            seed=7,
+            event_index=False,
+        ).run()
+        assert heap.summary() == scan.summary()
+
+    @pytest.mark.parametrize("policy", ["replay", "fcfs"])
+    def test_scan_path_matches_for_other_policies(self, tiny_system, policy):
+        generator = SyntheticWorkloadGenerator(
+            tiny_system, default_workload_spec(tiny_system), seed=19
+        )
+        jobs = generator.generate(4 * 3600.0)
+        heap = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], policy, seed=19
+        ).run()
+        scan = SimulationEngine(
+            tiny_system,
+            [j.copy_for_simulation() for j in jobs],
+            policy,
+            seed=19,
+            event_index=False,
+        ).run()
+        assert heap.summary() == scan.summary()
+
+    def test_frontier_scale_spec_heap_vs_scan(self):
+        # A one-hour slice of the frontier-scale benchmark workload (the
+        # benchmark itself runs 12 h): >= 1000 concurrently running jobs,
+        # and the heap-indexed engine must agree with the scan engine
+        # exactly. Shares frontier_scale_spec with scripts/bench_engine.py
+        # so the regression test and the benchmark can never drift apart.
+        from repro.workloads import frontier_scale_spec
+
+        system = get_system_config("frontier")
+        jobs = SyntheticWorkloadGenerator(
+            system, frontier_scale_spec(), seed=3
+        ).generate(3600.0)
+        heap = SimulationEngine(system, jobs, "backfill", seed=3).run()
+        scan = SimulationEngine(
+            system, jobs, "backfill", seed=3, event_index=False
+        ).run()
+        assert heap.summary() == scan.summary()
+        assert max(t.running_jobs for t in heap.stats.ticks) >= 1000
+
+    def test_end_heap_drains_after_run(self, tiny_system, tiny_workload):
+        # After a full backfill run (plenty of epoch churn) the end-time
+        # index must be empty: every entry was either completed or went
+        # stale and was discarded exactly once — nothing lingers to be
+        # revisited by a later run of the same resource manager.
+        engine = SimulationEngine(tiny_system, tiny_workload, "backfill")
+        engine.run()
+        rm = engine.resource_manager
+        assert rm.running_by_id == {}
+        assert rm._end_of == {}
+        assert rm.next_job_end() is None  # drains any remaining stale entries
+        assert rm._end_heap == []
+
+
 class TestHorizonClamping:
     def test_truncation_is_clamped_to_off_grid_horizon(self, tiny_system):
         # 1795 s is not a multiple of the 15 s tick: the old code released

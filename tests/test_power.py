@@ -286,6 +286,69 @@ class TestRunningSetPowerAggregator:
         assert sample.allocated_nodes == 0
         self._assert_matches(sample, model.sample(300.0, rm.running_jobs))
 
+    def test_next_breakpoint_after_matches_per_job_bound(self, rig):
+        # The engine's event bound: the aggregator's heap minimum must be
+        # float-identical to the min of Job.next_power_change_after over
+        # the running set, at every query time.
+        model, rm, agg = rig
+        jobs = [
+            make_job(
+                nodes=2, submit=0.0, duration=600.0,
+                cpu_profile=Profile([0.0, 120.0, 240.0], [0.2, 0.8, 0.5]),
+            ),
+            make_job(
+                nodes=1, submit=0.0, duration=600.0,
+                gpu_profile=Profile([0.0, 90.0, 180.0, 200.0], [0.1, 0.1, 0.9, 0.4]),
+            ),
+            make_job(nodes=1, submit=0.0, duration=600.0, cpu=0.5),  # constant
+        ]
+        for job in jobs:
+            job.mark_queued(0.0)
+            rm.allocate(job, 0.0)
+        for now in (0.0, 15.0, 90.0, 120.0, 185.0, 240.0, 500.0):
+            agg.sample(now)
+            expected = min(
+                (
+                    change
+                    for job in rm.running_by_id.values()
+                    if (change := job.next_power_change_after(now)) is not None
+                ),
+                default=None,
+            )
+            assert agg.next_breakpoint_after(now) == expected
+
+    def test_next_breakpoint_none_for_constant_jobs(self, rig):
+        _, rm, agg = rig
+        job = make_job(nodes=2, submit=0.0, duration=600.0, cpu=0.7)
+        job.mark_queued(0.0)
+        rm.allocate(job, 0.0)
+        assert agg.next_breakpoint_after(0.0) is None
+
+    def test_next_breakpoint_discards_stale_entries_of_ended_jobs(self, rig):
+        _, rm, agg = rig
+        phased = Profile([0.0, 300.0], [0.2, 0.9])
+        job = make_job(nodes=2, submit=0.0, duration=600.0, cpu_profile=phased)
+        job.mark_queued(0.0)
+        rm.allocate(job, 0.0)
+        assert agg.next_breakpoint_after(0.0) == pytest.approx(300.0)
+        rm.release(job, 100.0)
+        # The heap entry of the ended job is stale; the query discards it
+        # (permanently) instead of reporting a breakpoint for a job that no
+        # longer runs.
+        assert agg.next_breakpoint_after(100.0) is None
+        assert agg._changes == []
+
+    def test_next_breakpoint_is_strictly_after_now(self, rig):
+        _, rm, agg = rig
+        phased = Profile([0.0, 120.0, 240.0], [0.2, 0.8, 0.5])
+        job = make_job(nodes=2, submit=0.0, duration=600.0, cpu_profile=phased)
+        job.mark_queued(0.0)
+        rm.allocate(job, 0.0)
+        # Querying exactly on a breakpoint applies the crossing and reports
+        # the following one.
+        assert agg.next_breakpoint_after(120.0) == pytest.approx(240.0)
+        assert agg.next_breakpoint_after(240.0) is None
+
     def test_unsampled_membership_churn_is_caught_up(self, rig):
         # Several allocations/releases between two samples (one epoch jump
         # spanning many changes) must still land on the scan result.

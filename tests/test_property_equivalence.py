@@ -1,0 +1,214 @@
+"""Property-based dense-vs-event equivalence: the engine's 1e-9 contract.
+
+PR 3 pinned dense-vs-event summary equality on a fixed 3x3 seed/policy
+matrix; this module promotes that matrix into a real property test. A
+strategy draws :class:`~repro.workloads.WorkloadSpec` parameters (mixed
+per-sample noise, phase counts, arrival rates, scalar vs sampled telemetry,
+recorded power traces) plus adversarial hand-built jobs — zero-duration
+jobs, simultaneous ends, replay-backdated starts — and an optional horizon
+that running jobs straddle, then asserts that the event-driven engine's
+summary is equal to dense ticking at 1e-9 relative under *all three*
+scheduling policies.
+
+When ``hypothesis`` is unavailable the same property runs over a
+seeded-random parameter sweep (``random.Random(2025)``), so the contract is
+exercised either way; the deterministic edge-case tests at the bottom run
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import SimulationEngine
+from repro.telemetry import JobState
+from repro.workloads import SyntheticWorkloadGenerator, WorkloadSpec
+from repro.workloads.distributions import (
+    JobSizeDistribution,
+    RuntimeDistribution,
+    WaveArrivals,
+)
+
+from helpers import make_job
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+POLICIES = ("replay", "fcfs", "backfill")
+
+#: The engine contract: event-driven summaries match dense ticking to 1e-9
+#: relative (matching the benchmark gate in scripts/bench_engine.py).
+EQUIVALENCE_RTOL = 1e-9
+
+#: Horizon choices: none, grid-aligned, and off-grid (tiny's tick is 15 s)
+#: so truncation exercises the exact-horizon clamping path too.
+HORIZONS = (None, 5400.0, 5401.7)
+
+
+def _workload(tiny_system, *, seed, noise, phases, rate, scalar, power_trace):
+    """A generated workload plus hand-built adversarial edge-case jobs."""
+    spec = WorkloadSpec(
+        sizes=JobSizeDistribution(min_nodes=1, max_nodes=8),
+        runtimes=RuntimeDistribution(
+            median_s=1500.0, sigma=0.7, min_s=60.0, max_s=2 * 3600.0
+        ),
+        arrivals=WaveArrivals(rate_per_hour=rate, amplitude=0.3),
+        trace_interval_s=None if scalar else 60.0,
+        generate_power_trace=power_trace and not scalar,
+        phase_count_range=(1, phases),
+        sample_noise=noise,
+    )
+    jobs = SyntheticWorkloadGenerator(tiny_system, spec, seed=seed).generate(
+        2.5 * 3600.0
+    )
+    jobs += [
+        # Zero-duration job: allocated and completed with no runtime.
+        make_job(nodes=1, submit=300.0, start=420.0, duration=0.0),
+        # Simultaneous ends: same start, same duration, different sizes.
+        make_job(nodes=2, submit=0.0, start=120.0, duration=1000.0),
+        make_job(nodes=3, submit=0.0, start=120.0, duration=1000.0),
+        # Replay-backdated start far from any tick boundary.
+        make_job(nodes=1, submit=0.0, start=1234.5, duration=777.25),
+        # A long job that straddles every HORIZONS cut (truncated there).
+        make_job(nodes=2, submit=60.0, start=90.0, duration=4 * 3600.0),
+    ]
+    return jobs
+
+
+def _assert_dense_event_equivalent(tiny_system, jobs, policy, horizon_s):
+    sparse = SimulationEngine(
+        tiny_system,
+        [j.copy_for_simulation() for j in jobs],
+        policy,
+        horizon_s=horizon_s,
+    ).run()
+    dense = SimulationEngine(
+        tiny_system,
+        [j.copy_for_simulation() for j in jobs],
+        policy,
+        horizon_s=horizon_s,
+        dense_ticks=True,
+    ).run()
+    sparse_summary, dense_summary = sparse.summary(), dense.summary()
+    assert set(sparse_summary) == set(dense_summary)
+    for key, dense_value in dense_summary.items():
+        if key == "ticks":
+            continue
+        assert sparse_summary[key] == pytest.approx(
+            dense_value, rel=EQUIVALENCE_RTOL, abs=1e-12
+        ), f"{policy}/{key} drifted beyond 1e-9"
+    # Coalescing may only ever merge samples, and per-job outcomes
+    # (completed vs dismissed) must agree job for job.
+    assert sparse_summary["ticks"] <= dense_summary["ticks"]
+    sparse_states = {j.job_id: j.state for j in sparse.jobs}
+    dense_states = {j.job_id: j.state for j in dense.jobs}
+    assert sparse_states == dense_states
+
+
+def _check_property(tiny_system, seed, noise, phases, rate, scalar, power_trace, horizon):
+    jobs = _workload(
+        tiny_system,
+        seed=seed,
+        noise=noise,
+        phases=phases,
+        rate=rate,
+        scalar=scalar,
+        power_trace=power_trace,
+    )
+    for policy in POLICIES:
+        _assert_dense_event_equivalent(tiny_system, jobs, policy, horizon)
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        noise=st.sampled_from([0.0, 0.35, 1.0]),
+        phases=st.integers(min_value=1, max_value=5),
+        rate=st.floats(min_value=2.0, max_value=10.0, allow_nan=False),
+        scalar=st.booleans(),
+        power_trace=st.booleans(),
+        horizon=st.sampled_from(HORIZONS),
+    )
+    def test_dense_event_equivalence_property(
+        seed, noise, phases, rate, scalar, power_trace, horizon
+    ):
+        from repro.config import get_system_config
+
+        _check_property(
+            get_system_config("tiny"),
+            seed, noise, phases, rate, scalar, power_trace, horizon,
+        )
+
+else:  # pragma: no cover - seeded-random fallback without hypothesis
+
+    def _fallback_cases(count=8):
+        rng = random.Random(2025)
+        return [
+            (
+                rng.randrange(2**20),
+                rng.choice([0.0, 0.35, 1.0]),
+                rng.randint(1, 5),
+                rng.uniform(2.0, 10.0),
+                rng.random() < 0.5,
+                rng.random() < 0.5,
+                rng.choice(HORIZONS),
+            )
+            for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("case", _fallback_cases())
+    def test_dense_event_equivalence_property(tiny_system, case):
+        _check_property(tiny_system, *case)
+
+
+class TestEdgeCaseEquivalence:
+    """Deterministic slices of the property, kept unconditional so a
+    failure reproduces without hypothesis installed."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_zero_duration_jobs_complete_without_drift(self, tiny_system, policy):
+        jobs = [
+            make_job(nodes=1, submit=0.0, start=0.0, duration=0.0),
+            make_job(nodes=4, submit=0.0, start=15.0, duration=0.0),
+            make_job(nodes=2, submit=0.0, start=30.0, duration=600.0),
+        ]
+        _assert_dense_event_equivalent(tiny_system, jobs, policy, None)
+        result = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], policy
+        ).run()
+        assert all(j.state is JobState.COMPLETED for j in result.jobs)
+        zero = [j for j in result.jobs if j.duration == 0.0]
+        assert all(j.sim_duration == 0.0 for j in zero)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_simultaneous_ends_release_together(self, tiny_system, policy):
+        jobs = [
+            make_job(nodes=n, submit=0.0, start=60.0, duration=900.0)
+            for n in (1, 2, 3, 4)
+        ]
+        _assert_dense_event_equivalent(tiny_system, jobs, policy, None)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("horizon", [h for h in HORIZONS if h is not None])
+    def test_horizon_straddling_release(self, tiny_system, policy, horizon):
+        # One job ends inside the window, one is cut by the horizon, one is
+        # never started — dense and event mode must agree on all three.
+        jobs = [
+            make_job(nodes=2, submit=0.0, start=0.0, duration=1800.0),
+            make_job(nodes=4, submit=0.0, start=300.0, duration=4 * 3600.0),
+            make_job(nodes=1, submit=3 * 3600.0, start=3 * 3600.0, duration=60.0),
+        ]
+        _assert_dense_event_equivalent(tiny_system, jobs, policy, horizon)

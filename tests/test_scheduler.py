@@ -350,6 +350,57 @@ class TestNextEventHint:
         # the hint must veto coalescing rather than silently skip it.
         assert scheduler.next_event_hint([due], now=200.0) == 200.0
 
+    def test_replay_hint_stash_matches_scan_after_schedule(self, tiny_system):
+        # The engine calls next_event_hint right after executing schedule's
+        # decisions; the O(1) stash must answer exactly what the O(queue)
+        # scan would.
+        scheduler = ReplayScheduler()
+        rm = ResourceManager(tiny_system)
+        due = make_job(nodes=1, submit=0.0, start=100.0)
+        near = make_job(nodes=1, submit=0.0, start=900.0)
+        far = make_job(nodes=1, submit=0.0, start=4500.0)
+        for job in (due, near, far):
+            job.mark_queued(0.0)
+        decisions = scheduler.schedule([far, due, near], rm, now=200.0)
+        assert [d.job.job_id for d in decisions] == [due.job_id]
+        # Engine's view: the started job left the queue.
+        assert scheduler.next_event_hint([far, near], now=200.0) == pytest.approx(900.0)
+
+    def test_replay_hint_stash_rejected_when_decisions_dropped(self, tiny_system):
+        # A direct caller that never executes the decisions must not get
+        # the stashed answer: the due job is still queued and unstarted, so
+        # the scan fallback vetoes coalescing.
+        scheduler = ReplayScheduler()
+        rm = ResourceManager(tiny_system)
+        due = make_job(nodes=1, submit=0.0, start=100.0)
+        future = make_job(nodes=1, submit=0.0, start=900.0)
+        for job in (due, future):
+            job.mark_queued(0.0)
+        decisions = scheduler.schedule([due, future], rm, now=200.0)
+        assert len(decisions) == 1
+        assert scheduler.next_event_hint([due, future], now=200.0) == 200.0
+
+    def test_replay_hint_stash_rejected_for_different_same_length_queue(
+        self, tiny_system
+    ):
+        # Same now, same queue *length*, different members: the stash must
+        # not answer for a queue it never saw — an unattempted due job in
+        # the substitute queue has to veto.
+        scheduler = ReplayScheduler()
+        rm = ResourceManager(tiny_system)
+        due_a = make_job(nodes=1, submit=0.0, start=100.0)
+        fut_b = make_job(nodes=1, submit=0.0, start=900.0)
+        fut_c = make_job(nodes=1, submit=0.0, start=950.0)
+        due_d = make_job(nodes=1, submit=0.0, start=150.0)
+        for job in (due_a, fut_b, fut_c, due_d):
+            job.mark_queued(0.0)
+        decisions = scheduler.schedule([due_a, fut_b, fut_c], rm, now=200.0)
+        assert [d.job.job_id for d in decisions] == [due_a.job_id]
+        # Engine view (started job removed): stash answers.
+        assert scheduler.next_event_hint([fut_b, fut_c], now=200.0) == pytest.approx(900.0)
+        # Substitute queue of the same length: scan fallback vetoes.
+        assert scheduler.next_event_hint([due_d, fut_b], now=200.0) == 200.0
+
     def test_replay_delayed_job_waits_on_releases_not_time(self, tiny_system):
         scheduler = ReplayScheduler()
         rm = ResourceManager(tiny_system)

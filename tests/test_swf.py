@@ -83,3 +83,119 @@ class TestRoundTrip:
     def test_header_contains_maxprocs(self):
         text = jobs_to_swf([make_job(nodes=64)])
         assert "MaxProcs: 64" in text
+
+
+class TestMalformedLines:
+    def test_non_numeric_field_names_the_line(self):
+        text = SAMPLE_SWF + "4 0 xx 3600 16 -1 -1 16 7200 -1 1 3 5 -1 1 -1 -1 -1\n"
+        with pytest.raises(DataLoaderError, match="line 6"):
+            parse_swf(text)
+
+    def test_truncated_line_names_the_line_and_count(self):
+        with pytest.raises(DataLoaderError, match="line 2.*expected 18 fields, got 5"):
+            parse_swf("; header\n1 0 10 3600 16\n")
+
+    def test_extra_trailing_fields_tolerated(self):
+        # Some archive files append site-specific columns; the standard 18
+        # are parsed and the extras ignored.
+        line = "1 0 10 3600 16 -1 -1 16 7200 -1 1 3 5 -1 1 -1 -1 -1 999 888\n"
+        jobs = parse_swf(line)
+        assert len(jobs) == 1
+        assert jobs[0].nodes_required == 16
+
+    def test_missing_wait_time_clamped(self):
+        line = "1 100 -1 3600 8 -1 -1 8 -1 -1 1 3 5 -1 1 -1 -1 -1\n"
+        job = parse_swf(line)[0]
+        assert job.start_time == job.submit_time == 100.0
+        # requested_time of -1 means no wall limit at all.
+        assert job.wall_time_limit is None
+
+    def test_missing_user_and_group_become_unknown(self):
+        line = "1 0 10 3600 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        job = parse_swf(line)[0]
+        assert job.user == "unknown"
+        assert job.account == "unknown"
+        assert job.priority == 0.0
+
+
+class TestProcessorsPerNode:
+    def test_exact_division(self):
+        jobs = parse_swf(SAMPLE_SWF, processors_per_node=16)
+        assert jobs[0].nodes_required == 1  # 16 procs / 16 per node
+        assert jobs[1].nodes_required == 2  # 32 procs / 16 per node
+
+    def test_fewer_procs_than_node_rounds_up_to_one(self):
+        jobs = parse_swf(SAMPLE_SWF, processors_per_node=1000)
+        assert all(j.nodes_required == 1 for j in jobs)
+
+    @pytest.mark.parametrize("ppn", [0, -4])
+    def test_non_positive_rejected(self, ppn):
+        with pytest.raises(DataLoaderError, match="processors_per_node"):
+            parse_swf(SAMPLE_SWF, processors_per_node=ppn)
+
+    def test_allocated_procs_fall_back_to_requested(self):
+        # allocated_processors == -1: the requested count is used instead.
+        line = "1 0 10 3600 -1 -1 -1 24 -1 -1 1 3 5 -1 1 -1 -1 -1\n"
+        job = parse_swf(line, processors_per_node=8)[0]
+        assert job.nodes_required == 3
+
+    def test_job_without_any_processor_count_skipped(self):
+        line = "1 0 10 3600 -1 -1 -1 -1 -1 -1 1 3 5 -1 1 -1 -1 -1\n"
+        assert parse_swf(line) == []
+
+
+class TestFullRoundTripIdentity:
+    """parse_swf -> jobs_to_swf -> parse_swf is the identity on SWF fields.
+
+    SWF stores integral seconds, so starting from a parsed SWF (rather than
+    arbitrary float-timed jobs) the second parse must reproduce the first
+    exactly — the CLI replay path depends on this to re-export workloads
+    without drift.
+    """
+
+    def _roundtrip(self, text, **kwargs):
+        first = parse_swf(text, **kwargs)
+        second = parse_swf(jobs_to_swf(first, **kwargs), **kwargs)
+        return first, second
+
+    @pytest.mark.parametrize("ppn", [1, 4])
+    def test_identity_on_scheduling_fields(self, ppn):
+        first, second = self._roundtrip(SAMPLE_SWF, processors_per_node=ppn)
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert a.submit_time == b.submit_time
+            assert a.start_time == b.start_time
+            assert a.end_time == b.end_time
+            assert a.duration == b.duration
+            assert a.nodes_required == b.nodes_required
+            assert a.wall_time_limit == b.wall_time_limit
+            assert a.user == b.user
+            assert a.account == b.account
+            assert a.priority == b.priority
+
+    def test_identity_is_stable_under_iteration(self):
+        # A second round-trip changes nothing further (idempotence).
+        first, second = self._roundtrip(SAMPLE_SWF)
+        third = parse_swf(jobs_to_swf(second))
+        for b, c in zip(second, third):
+            assert (b.submit_time, b.start_time, b.end_time, b.nodes_required) == (
+                c.submit_time, c.start_time, c.end_time, c.nodes_required
+            )
+
+    def test_zero_wait_and_zero_priority_preserved(self):
+        line = "1 50 0 600 4 -1 -1 4 1200 -1 1 2 2 -1 0 -1 -1 -1\n"
+        first, second = self._roundtrip(line)
+        assert second[0].submit_time == 50.0
+        assert second[0].start_time == 50.0
+        # queue_number 0 exports as missing (-1) and parses back to the
+        # 0.0 default — the one lossy corner, pinned here on purpose.
+        assert first[0].priority == 0.0
+        assert second[0].priority == 0.0
+
+    def test_file_roundtrip_identity(self, tmp_path):
+        path = tmp_path / "rt.swf"
+        first = parse_swf(SAMPLE_SWF)
+        write_swf(first, path)
+        second = read_swf(path)
+        assert [j.nodes_required for j in first] == [j.nodes_required for j in second]
+        assert [j.duration for j in first] == [j.duration for j in second]
