@@ -22,25 +22,53 @@ numbers written to ``BENCH_engine.json`` in the repository root:
 
 ``engine_frontier_scale``
     A 12 h window on the 9,600-node ``frontier`` system holding ~2,000
-    concurrently running jobs, run three ways: dense, event-driven with the
-    O(log R) event indexes (end-time heap + breakpoint heap, the default)
-    and event-driven with the historical O(R) running-set scans
-    (``event_index=False``). The scan-vs-heap wall-clock-per-step
-    comparison is the point: with heaps the per-step cost no longer scales
-    with the running-set size (compare against the 24 h busy trace, whose
-    running set is ~100x smaller), while the summaries stay identical.
+    concurrently running jobs, run four ways: dense, event-driven with the
+    O(log R) event indexes (end-time heap + breakpoint heap, the default),
+    event-driven with the historical O(R) running-set scans
+    (``event_index=False``), and event-driven with the per-job/per-call hot
+    paths (``vectorized=False``). The scan-vs-heap and per-job-vs-batched
+    wall-clock-per-step comparisons are the point: with heaps the per-step
+    cost no longer scales with the running-set size, and with the batched
+    job-start path the per-*event* cost no longer pays per-job numpy
+    overhead — while the summaries stay identical.
+
+``engine_burst_arrival``
+    Thousands of same-tick releases on ``frontier`` (the post-maintenance
+    queue-drain restart: 3,000 jobs per burst), run dense, event-driven
+    (batched job-start power states, the default) and event-driven with
+    per-job state construction (``vectorized=False``). The batched path
+    builds every same-refresh job's power state in one vectorised pass —
+    one node-power-model evaluation per refresh, not per job — and the
+    per-job baseline is retained behind the flag as the differential,
+    gated at 1e-9 exactly like scan-vs-heap.
 
 The script doubles as the CI metrics gate: ``--golden PATH`` compares the
 24 h run's summary against a committed golden record and exits non-zero on
 drift beyond 1e-6 relative tolerance; ``--write-golden PATH`` refreshes the
 record after an intentional semantic change. Independently of the golden
-record, the dense-vs-event summary drift of the idle-heavy, busy-trace and
-frontier-scale benchmarks is gated at 1e-9 relative — the equivalence
-guarantee is part of the engine's contract, so CI fails if coalescing ever
-changes a metric. The frontier-scale benchmark additionally gates the
-scan-vs-heap drift at 1e-9 (the event indexes change complexity, not
-semantics) and requires >= 1000 concurrently running jobs, so the workload
-can never silently shrink below the scale the benchmark exists to cover.
+record, the dense-vs-event summary drift of the idle-heavy, busy-trace,
+frontier-scale and burst-arrival benchmarks is gated at 1e-9 relative —
+the equivalence guarantee is part of the engine's contract, so CI fails if
+coalescing ever changes a metric. The frontier-scale benchmark additionally
+gates the scan-vs-heap drift at 1e-9 (the event indexes change complexity,
+not semantics) and requires >= 1000 concurrently running jobs, so the
+workload can never silently shrink below the scale the benchmark exists to
+cover; the frontier-scale and burst-arrival benchmarks gate the
+batched-vs-per-job drift at 1e-9 the same way.
+
+Two tooling extras ride along:
+
+``--profile [PATH]``
+    Re-run each benchmark's event-driven engine under cProfile after the
+    timed runs and write the top functions (by cumulative time) per
+    benchmark to PATH (default ``BENCH_profile.txt`` next to the record) —
+    uploaded as a CI artifact next to ``BENCH_engine.json``.
+
+Soft regression check
+    Before overwriting the output record, the previous ``wall_us_per_step``
+    of every benchmark is read back; any benchmark now slower than 1.5x its
+    recorded best prints a prominent warning (never a CI failure — wall
+    clock on shared runners is advisory, unlike the semantic gates above).
 
 Usage::
 
@@ -64,6 +92,7 @@ from repro.engine.stats import json_safe
 from repro.workloads import (
     SyntheticWorkloadGenerator,
     WorkloadSpec,
+    burst_arrival_spec,
     busy_trace_spec,
     default_workload_spec,
     frontier_scale_spec,
@@ -82,6 +111,15 @@ GOLDEN_RTOL = 1e-6
 #: Relative tolerance for the dense-vs-event-driven equivalence gate.
 EQUIVALENCE_RTOL = 1e-9
 
+#: Soft regression threshold: warn when a benchmark's wall_us_per_step
+#: exceeds the previously recorded best by this factor.
+REGRESSION_WARN_FACTOR = 1.5
+
+#: (label, thunk) pairs collected by the bench functions for ``--profile``.
+#: Only populated when profiling was requested — the thunks close over whole
+#: workloads, which would otherwise be pinned in memory for the full run.
+PROFILE_TARGETS: list = []
+
 
 def idle_heavy_spec() -> WorkloadSpec:
     """A sparse workload: short constant-power jobs separated by idle hours."""
@@ -96,10 +134,13 @@ def idle_heavy_spec() -> WorkloadSpec:
     )
 
 
-def _timed_run(system, workload, policy, seed, *, dense_ticks=False, event_index=True):
+def _timed_run(
+    system, workload, policy, seed, *,
+    dense_ticks=False, event_index=True, vectorized=True,
+):
     engine = SimulationEngine(
         system, workload, policy, seed=seed, dense_ticks=dense_ticks,
-        event_index=event_index,
+        event_index=event_index, vectorized=vectorized,
     )
     started = time.perf_counter()
     result = engine.run()
@@ -111,7 +152,11 @@ def _timed_run(system, workload, policy, seed, *, dense_ticks=False, event_index
         "steps": steps,
         "steps_per_s": steps / elapsed if elapsed > 0 else 0.0,
         "wall_us_per_step": 1e6 * elapsed / steps if steps else 0.0,
-        "max_running_jobs": max((t.running_jobs for t in result.stats.ticks), default=0),
+        "max_running_jobs": (
+            int(result.stats.column("running_jobs").max())
+            if len(result.stats.ticks)
+            else 0
+        ),
         "simulated_s": summary["simulated_s"],
         "speedup_vs_realtime": summary["simulated_s"] / elapsed if elapsed > 0 else 0.0,
     }
@@ -142,6 +187,11 @@ def bench_24h_window(args, system):
         "best": best,
         "runs": runs,
     }
+    if args.profile:
+        PROFILE_TARGETS.append((
+            "engine_24h_window (event-driven)",
+            lambda: SimulationEngine(system, workload, args.policy, seed=args.seed).run(),
+        ))
     print(
         f"{system.name}/{args.policy}: {len(workload)} jobs, "
         f"{best['steps']:.0f} steps in {best['wall_s']:.3f}s "
@@ -163,6 +213,11 @@ def _bench_dense_vs_event(benchmark, label, args, system, spec, duration):
 
     drift = _summary_drift(event_summary, dense_summary)
     step_reduction = dense["steps"] / event["steps"] if event["steps"] else math.inf
+    if args.profile:
+        PROFILE_TARGETS.append((
+            f"{benchmark} (event-driven)",
+            lambda: SimulationEngine(system, workload, args.policy, seed=args.seed).run(),
+        ))
     record = {
         "benchmark": benchmark,
         "system": system.name,
@@ -201,7 +256,8 @@ def bench_busy_trace(args, system):
 
 
 def bench_frontier_scale(args):
-    """Thousands of concurrent jobs: event-index heaps vs running-set scans."""
+    """Thousands of concurrent jobs: event-index heaps vs running-set scans,
+    batched job-start construction vs the retained per-job baseline."""
     system = get_system_config(args.frontier_system)
     duration_s = parse_duration(args.frontier_duration)
     generator = SyntheticWorkloadGenerator(system, frontier_scale_spec(), seed=args.seed)
@@ -214,6 +270,14 @@ def bench_frontier_scale(args):
     scan_summary, scan = _timed_run(
         system, workload, args.policy, args.seed, event_index=False
     )
+    perjob_summary, perjob = _timed_run(
+        system, workload, args.policy, args.seed, vectorized=False
+    )
+    if args.profile:
+        PROFILE_TARGETS.append((
+            "engine_frontier_scale (event-driven)",
+            lambda: SimulationEngine(system, workload, args.policy, seed=args.seed).run(),
+        ))
 
     record = {
         "benchmark": "engine_frontier_scale",
@@ -227,20 +291,83 @@ def bench_frontier_scale(args):
         "dense": dense,
         "event_driven": event,
         "event_driven_scan": scan,
+        "event_driven_perjob": perjob,
         "step_reduction": dense["steps"] / event["steps"] if event["steps"] else math.inf,
         "scan_vs_heap_wall_ratio": (
             scan["wall_s"] / event["wall_s"] if event["wall_s"] else math.inf
         ),
+        "perjob_vs_batched_wall_ratio": (
+            perjob["wall_s"] / event["wall_s"] if event["wall_s"] else math.inf
+        ),
         "max_summary_drift_rel": _summary_drift(event_summary, dense_summary),
         "scan_vs_heap_drift_rel": _summary_drift(scan_summary, event_summary),
+        "perjob_vs_batched_drift_rel": _summary_drift(perjob_summary, event_summary),
     }
     print(
         f"frontier-scale: {len(workload)} jobs over {args.frontier_duration}, "
         f"{event['max_running_jobs']} max concurrent; "
         f"{event['wall_us_per_step']:.0f}us/step with event heaps vs "
         f"{scan['wall_us_per_step']:.0f}us/step with running-set scans "
-        f"({record['scan_vs_heap_wall_ratio']:.1f}x), "
+        f"({record['scan_vs_heap_wall_ratio']:.1f}x) and "
+        f"{perjob['wall_us_per_step']:.0f}us/step with per-job starts "
+        f"({record['perjob_vs_batched_wall_ratio']:.1f}x), "
         f"scan drift {record['scan_vs_heap_drift_rel']:.2e}, "
+        f"per-job drift {record['perjob_vs_batched_drift_rel']:.2e}, "
+        f"dense drift {record['max_summary_drift_rel']:.2e}"
+    )
+    return record
+
+
+def bench_burst_arrival(args):
+    """Thousands of same-tick releases: batched vs per-job job-start states."""
+    system = get_system_config(args.frontier_system)
+    duration_s = parse_duration(args.burst_duration)
+    generator = SyntheticWorkloadGenerator(system, burst_arrival_spec(), seed=args.seed)
+    workload = generator.generate(duration_s)
+
+    # FCFS keeps the whole burst starting in one tick (nothing blocks), so
+    # the benchmark isolates the per-event start cost the batched path cuts.
+    policy = "fcfs"
+    dense_summary, dense = _timed_run(
+        system, workload, policy, args.seed, dense_ticks=True
+    )
+    batched_summary, batched = _timed_run(system, workload, policy, args.seed)
+    perjob_summary, perjob = _timed_run(
+        system, workload, policy, args.seed, vectorized=False
+    )
+    if args.profile:
+        PROFILE_TARGETS.append((
+            "engine_burst_arrival (event-driven, batched)",
+            lambda: SimulationEngine(system, workload, policy, seed=args.seed).run(),
+        ))
+
+    record = {
+        "benchmark": "engine_burst_arrival",
+        "system": system.name,
+        "policy": policy,
+        "duration": args.burst_duration,
+        "seed": args.seed,
+        "jobs": len(workload),
+        "max_running_jobs": batched["max_running_jobs"],
+        "mean_utilization": batched_summary["mean_utilization"],
+        "dense": dense,
+        "event_driven": batched,
+        "event_driven_perjob": perjob,
+        "step_reduction": (
+            dense["steps"] / batched["steps"] if batched["steps"] else math.inf
+        ),
+        "perjob_vs_batched_wall_ratio": (
+            perjob["wall_s"] / batched["wall_s"] if batched["wall_s"] else math.inf
+        ),
+        "max_summary_drift_rel": _summary_drift(batched_summary, dense_summary),
+        "perjob_vs_batched_drift_rel": _summary_drift(perjob_summary, batched_summary),
+    }
+    print(
+        f"burst-arrival: {len(workload)} jobs over {args.burst_duration} "
+        f"(3000-job bursts); {batched['wall_us_per_step']:.0f}us/step batched vs "
+        f"{perjob['wall_us_per_step']:.0f}us/step per-job "
+        f"({record['perjob_vs_batched_wall_ratio']:.1f}x), "
+        f"per-job drift {record['perjob_vs_batched_drift_rel']:.2e}, "
         f"dense drift {record['max_summary_drift_rel']:.2e}"
     )
     return record
@@ -290,6 +417,71 @@ def _summary_drift(candidate: dict, reference: dict) -> float:
     return max(_summary_drifts(candidate, reference).values(), default=0.0)
 
 
+def _write_profiles(path: Path, top: int = 30) -> None:
+    """Re-run each benchmark's event-driven engine under cProfile.
+
+    Runs after the timed measurements so profiler overhead never pollutes
+    the recorded numbers; the per-benchmark top functions (by cumulative
+    time) land in one text file uploaded as a CI artifact next to
+    ``BENCH_engine.json``.
+    """
+    import cProfile
+    import pstats
+
+    with open(path, "w") as fh:
+        for label, thunk in PROFILE_TARGETS:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            thunk()
+            profiler.disable()
+            fh.write(f"==== {label} ====\n")
+            pstats.Stats(profiler, stream=fh).sort_stats("cumulative").print_stats(top)
+    print(f"profile -> {path}")
+
+
+def _soft_regression_warnings(previous: dict | None, record: dict) -> list[str]:
+    """Warn when a benchmark's wall_us_per_step regressed > 1.5x vs the record.
+
+    Advisory only: wall clock on shared CI runners is noisy, so unlike the
+    summary-drift gates this never fails the run — it just makes a slowdown
+    visible in the log before the record is overwritten.
+    """
+    if not previous:
+        return []
+
+    def run_of(rec: dict | None, key: str) -> dict | None:
+        if not isinstance(rec, dict):
+            return None
+        value = rec.get(key)
+        return value if isinstance(value, dict) else None
+
+    pairs = [("engine_24h_window", run_of(record, "best"), run_of(previous, "best"))]
+    for section in ("idle_heavy", "busy_trace", "frontier_scale", "burst_arrival"):
+        pairs.append((
+            f"{section} (event-driven)",
+            run_of(record.get(section), "event_driven"),
+            run_of(previous.get(section), "event_driven"),
+        ))
+    warnings = []
+    for label, new_run, old_run in pairs:
+        if not new_run or not old_run:
+            continue
+        new_us = new_run.get("wall_us_per_step")
+        old_us = old_run.get("wall_us_per_step")
+        if (
+            isinstance(new_us, (int, float))
+            and isinstance(old_us, (int, float))
+            and old_us > 0
+            and new_us > REGRESSION_WARN_FACTOR * old_us
+        ):
+            warnings.append(
+                f"PERF WARNING: {label} wall_us_per_step {new_us:.0f} exceeds "
+                f"recorded best {old_us:.0f} by more than "
+                f"{REGRESSION_WARN_FACTOR}x (advisory, not a gate)"
+            )
+    return warnings
+
+
 def check_golden(summary: dict, golden_path: Path) -> int:
     """Compare the benchmark summary against the committed golden record."""
     golden = json.loads(golden_path.read_text())
@@ -322,11 +514,22 @@ def main() -> int:
     parser.add_argument("--busy-duration", default="24h")
     parser.add_argument("--frontier-system", default="frontier")
     parser.add_argument("--frontier-duration", default="12h")
+    parser.add_argument("--burst-duration", default="12h")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_engine.json"),
         help="where to write the benchmark record",
+    )
+    parser.add_argument(
+        "--profile", metavar="PATH", nargs="?",
+        const=str(REPO_ROOT / "BENCH_profile.txt"), default=None,
+        help="re-run each benchmark under cProfile and write the top "
+             "functions per benchmark to PATH (default BENCH_profile.txt)",
+    )
+    parser.add_argument(
+        "--profile-top", type=int, default=30,
+        help="how many functions to keep per benchmark in --profile output",
     )
     parser.add_argument(
         "--golden", metavar="PATH", default=None,
@@ -339,24 +542,38 @@ def main() -> int:
     args = parser.parse_args()
 
     system = get_system_config(args.system)
+    output_path = Path(args.output)
+    try:
+        previous_record = json.loads(output_path.read_text())
+    except (OSError, ValueError):
+        previous_record = None
+
     window_record, window_summary = bench_24h_window(args, system)
     idle_record = bench_idle_heavy(args, system)
     busy_record = bench_busy_trace(args, system)
     frontier_record = bench_frontier_scale(args)
+    burst_record = bench_burst_arrival(args)
 
     record = dict(window_record)
     record["idle_heavy"] = idle_record
     record["busy_trace"] = busy_record
     record["frontier_scale"] = frontier_record
+    record["burst_arrival"] = burst_record
     record["python"] = platform.python_version()
     record["machine"] = platform.machine()
+
+    for warning in _soft_regression_warnings(previous_record, record):
+        print(warning, file=sys.stderr)
     # Same strict-JSON convention as StatsCollector.to_json: non-finite
     # values (inf step_reduction on an empty event run, inf mean_pue on an
     # all-idle window) export as null, never as a bare Infinity token.
-    Path(args.output).write_text(
+    output_path.write_text(
         json.dumps(json_safe(record), indent=2, allow_nan=False) + "\n"
     )
     print(f"-> {args.output}")
+
+    if args.profile:
+        _write_profiles(Path(args.profile), top=args.profile_top)
 
     if args.write_golden:
         payload = {
@@ -380,7 +597,7 @@ def main() -> int:
     equivalence_failures = [
         f"{rec['benchmark']}: dense-vs-event summary drift "
         f"{rec['max_summary_drift_rel']:.3e} > {EQUIVALENCE_RTOL:.0e}"
-        for rec in (idle_record, busy_record, frontier_record)
+        for rec in (idle_record, busy_record, frontier_record, burst_record)
         if not rec["max_summary_drift_rel"] <= EQUIVALENCE_RTOL
     ]
     # The event indexes (end-time heap, breakpoint heap) change complexity,
@@ -391,6 +608,16 @@ def main() -> int:
             f"{frontier_record['scan_vs_heap_drift_rel']:.3e} > "
             f"{EQUIVALENCE_RTOL:.0e}"
         )
+    # Likewise the batched job-start path (vectorised construction, journal
+    # membership sync, indexed reservations) changes cost, never semantics:
+    # the retained per-job baseline must reproduce it to the same tolerance.
+    for rec in (frontier_record, burst_record):
+        if not rec["perjob_vs_batched_drift_rel"] <= EQUIVALENCE_RTOL:
+            equivalence_failures.append(
+                f"{rec['benchmark']}: per-job-vs-batched summary drift "
+                f"{rec['perjob_vs_batched_drift_rel']:.3e} > "
+                f"{EQUIVALENCE_RTOL:.0e}"
+            )
     # The frontier-scale benchmark only means something at frontier scale.
     if frontier_record["max_running_jobs"] < 1000:
         equivalence_failures.append(

@@ -12,8 +12,9 @@ the engine's step order.
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from types import MappingProxyType
-from typing import Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -84,6 +85,35 @@ class ResourceManager:
         self._end_heap: list[tuple[float, int]] = []
         self._end_of: dict[int, float] = {}
         self.scan_completions = False
+
+        # Allocate/release journal: every membership change appends one
+        # ``(is_allocation, job_id)`` entry, so a consumer that polls between
+        # events (the incremental power aggregator) can apply exactly the
+        # changes since its last poll in O(changes) instead of diffing its
+        # cached job set against the full running set per epoch change.
+        # ``_journal_base`` is the global index of the first retained entry;
+        # draining hands out the retained tail and empties the buffer, and a
+        # consumer whose cursor predates the retained window (a second
+        # consumer, or a capped journal) is told to resync via set diff.
+        self._journal: list[tuple[bool, int]] = []
+        self._journal_base = 0
+
+        # Expected-release index for the EASY shadow reservation: running
+        # jobs ordered by ``(sim_start + requested_runtime, nodes_required)``
+        # — the planning view a scheduler has (wall-time limits), distinct
+        # from the end-time heap above (actual recorded durations). Kept as
+        # an insort-maintained sorted list with lazy deletion so the
+        # reservation walk reads occupants in expected-end order with early
+        # exit instead of materialising and sorting the running set per call.
+        self._expected_sorted: list[tuple[float, int, int]] = []
+        self._expected_of: dict[int, float] = {}
+        self._expected_stale = 0
+
+    #: Retained-journal cap: without a draining consumer the buffer would
+    #: grow by two entries per job for the whole run, so the oldest entries
+    #: are dropped beyond this size (late consumers then resync, which is
+    #: always correct).
+    JOURNAL_CAP = 8192
 
     # -- inventory queries -----------------------------------------------------
 
@@ -238,6 +268,10 @@ class ResourceManager:
         end_time = now + job.duration
         self._end_of[job.job_id] = end_time
         heapq.heappush(self._end_heap, (end_time, job.job_id))
+        expected_end = now + job.requested_runtime
+        self._expected_of[job.job_id] = expected_end
+        insort(self._expected_sorted, (expected_end, job.nodes_required, job.job_id))
+        self._journal_append(True, job.job_id)
         return chosen
 
     def release(self, job: Job, now: float) -> None:
@@ -251,8 +285,10 @@ class ResourceManager:
         # The heap entry goes stale (the map no longer vouches for it) and
         # is discarded lazily the next time it surfaces.
         self._end_of.pop(job.job_id, None)
+        self._drop_expected(job.job_id)
         self._allocated_count -= len(job.assigned_nodes)
         self._epoch += 1
+        self._journal_append(False, job.job_id)
         if job.state is JobState.RUNNING:
             job.mark_completed(now)
 
@@ -300,8 +336,10 @@ class ResourceManager:
                 self.nodes[nid].release(end_time)
                 self._mark_free(nid)
             del self._running[job.job_id]
+            self._drop_expected(job.job_id)
             self._allocated_count -= len(job.assigned_nodes)
             self._epoch += 1
+            self._journal_append(False, job.job_id)
             job.mark_completed(end_time)
         return finished
 
@@ -331,6 +369,79 @@ class ResourceManager:
                 continue
             return end_time, job_id
         return None
+
+    # -- change journal / expected-release index ---------------------------------
+
+    @property
+    def journal_total(self) -> int:
+        """Number of journal entries ever appended (a consumer cursor)."""
+        return self._journal_base + len(self._journal)
+
+    def drain_change_journal(
+        self, cursor: int
+    ) -> tuple[int, list[tuple[bool, int]] | None]:
+        """Hand out the ``(is_allocation, job_id)`` entries since ``cursor``.
+
+        Returns ``(new_cursor, entries)``. ``entries`` is ``None`` when the
+        journal no longer reaches back to ``cursor`` (the buffer was capped,
+        or another consumer drained it first) — the caller must then resync
+        by diffing its cached membership against :attr:`running_by_id`,
+        which is always correct, just O(running set) instead of O(changes).
+        Draining empties the retained buffer, so the journal never grows
+        beyond one poll interval for its steady consumer.
+        """
+        total = self._journal_base + len(self._journal)
+        if cursor < self._journal_base:
+            entries: list[tuple[bool, int]] | None = None
+        elif cursor == total:
+            entries = []
+        else:
+            entries = self._journal[cursor - self._journal_base :]
+        self._journal.clear()
+        self._journal_base = total
+        return total, entries
+
+    def _journal_append(self, is_allocation: bool, job_id: int) -> None:
+        journal = self._journal
+        journal.append((is_allocation, job_id))
+        if len(journal) > self.JOURNAL_CAP:
+            # Nobody is draining: keep the newest half so a steady consumer
+            # that shows up late pays one resync, not unbounded memory.
+            drop = len(journal) - self.JOURNAL_CAP // 2
+            del journal[:drop]
+            self._journal_base += drop
+
+    def expected_release_entries(self) -> Iterator[tuple[float, int, int]]:
+        """Running jobs as ``(expected end, nodes_required, job_id)``, ordered.
+
+        Ascending by ``(sim_start + requested_runtime, nodes_required)`` —
+        exactly the order the EASY shadow reservation consumes occupants in
+        (ties beyond that are indistinguishable to the reservation
+        arithmetic). Backed by the insort-maintained index, so a walk that
+        exits early (the reservation stops once the head fits) costs
+        O(entries consumed + stale skipped), never a sort of the running
+        set. Stale entries of released jobs are skipped via the
+        authoritative map, mirroring the end-time heap's lazy deletion.
+        """
+        expected_of = self._expected_of
+        for entry in self._expected_sorted:
+            if expected_of.get(entry[2]) == entry[0]:
+                yield entry
+
+    def _drop_expected(self, job_id: int) -> None:
+        """Lazily delete a released job from the expected-release index."""
+        if self._expected_of.pop(job_id, None) is None:
+            return
+        self._expected_stale += 1
+        if self._expected_stale > max(64, len(self._expected_of)):
+            # More tombstones than live entries: compact so walks stay
+            # proportional to the live running set.
+            self._expected_sorted = [
+                entry
+                for entry in self._expected_sorted
+                if self._expected_of.get(entry[2]) == entry[0]
+            ]
+            self._expected_stale = 0
 
     # -- helpers -----------------------------------------------------------------
 

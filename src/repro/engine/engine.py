@@ -126,6 +126,19 @@ class SimulationEngine:
         results, job by job and tick by tick); the flag exists for the
         frontier-scale benchmark's scan-vs-heap comparison and as a
         differential-testing aid.
+    vectorized:
+        When true (the default) the per-*event* hot paths are batched and
+        indexed: jobs starting in the same power refresh get their cached
+        power states built in one vectorised pass (one node-power-model
+        evaluation per refresh, not per job), running-set membership
+        changes are consumed from the resource manager's allocate/release
+        journal in O(changes), EASY backfill reads its shadow reservation
+        from the expected-release index, and replay memoizes its queue
+        ordering. ``False`` restores the per-job construction and per-call
+        scans (summaries identical up to float association, gated at 1e-9
+        in CI); the flag exists for the batched-vs-per-job benchmark
+        comparison and as a differential-testing aid, exactly like
+        ``event_index``.
     """
 
     def __init__(
@@ -138,6 +151,7 @@ class SimulationEngine:
         horizon_s: float | None = None,
         dense_ticks: bool = False,
         event_index: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.system = system
         if isinstance(scheduler, Scheduler):
@@ -145,15 +159,18 @@ class SimulationEngine:
         else:
             self.scheduler = get_scheduler(scheduler or system.default_policy)
         self.scheduler.reset()
+        self.scheduler.vectorized = vectorized
         self.resource_manager = ResourceManager(system, seed=seed)
         self.power_model = SystemPowerModel(system)
         #: Incremental system-power evaluation over the running set: per-job
         #: contributions are pre-evaluated on each profile's change-point
-        #: grid at job start and refreshed only on membership changes
-        #: (tracked via the resource manager's epoch) and breakpoint
-        #: crossings — never rescanned per step.
+        #: grid at job start — batched across every job starting in the same
+        #: refresh (one NodePowerModel evaluation per refresh, not per job)
+        #: — and refreshed only on membership changes (consumed from the
+        #: resource manager's allocate/release journal, O(changes)) and
+        #: breakpoint crossings — never rescanned per step.
         self.power_aggregator = RunningSetPowerAggregator(
-            self.power_model, self.resource_manager
+            self.power_model, self.resource_manager, batch_states=vectorized
         )
         self.cooling_plant = (
             CoolingPlant(system.cooling) if system.cooling is not None else None
@@ -163,6 +180,7 @@ class SimulationEngine:
         self.horizon_s = horizon_s
         self.dense_ticks = dense_ticks
         self.event_index = event_index
+        self.vectorized = vectorized
         self.resource_manager.scan_completions = not event_index
 
         self.jobs = [job.copy_for_simulation() for job in jobs]

@@ -18,6 +18,16 @@ summary invariants hold regardless of how time was discretised:
 ``total_energy_kwh == Σ facility_power_kw · dt_s / 3600``,
 ``mean_pue == total_energy_kwh / it_energy_kwh``, ``elapsed_s == Σ dt_s``.
 
+Storage is *columnar*: one preallocated, amortised-doubling array per
+:class:`TickSample` field, written row by row — a dense frontier-scale run
+holds a handful of numpy arrays instead of millions of Python sample
+objects (13 float64/int64 columns ≈ 100 bytes/tick vs. ~1 kB/tick for a
+boxed dataclass). The public API is unchanged: :attr:`StatsCollector.ticks`
+is a lazy sequence view that materialises a :class:`TickSample` per access,
+and every summary metric is maintained incrementally in
+:meth:`~StatsCollector.record_tick` / :meth:`~StatsCollector.record_job`,
+so ``summary()`` is O(1) rather than a rescan of all ticks and jobs.
+
 PUE at zero IT power is reported as ``float("inf")`` (overhead power with
 nothing to attribute it to), never as the flattering 1.0 floor; such ticks
 are excluded from :attr:`StatsCollector.max_pue`.
@@ -30,6 +40,9 @@ import json
 import math
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from ..cooling.plant import CoolingPlantState
 from ..power.system_power import SystemPowerSample
@@ -83,20 +96,98 @@ class TickSample:
         return [getattr(self, name) for name in self.FIELDS]
 
 
+#: Columns stored as int64 (node/job counts); everything else is float64.
+_INT_FIELDS = frozenset({"allocated_nodes", "running_jobs", "queued_jobs"})
+
+#: Initial per-column capacity; growth doubles, so appends are amortised O(1).
+_INITIAL_CAPACITY = 512
+
+
+class _TickSeries(Sequence):
+    """Read-only sequence view over the collector's tick columns.
+
+    Materialises a :class:`TickSample` per indexed access or iteration step,
+    so consumers keep the historical object API while the storage stays
+    columnar. Live view: it always reflects the collector's current length.
+    """
+
+    def __init__(self, stats: "StatsCollector") -> None:
+        self._stats = stats
+
+    def __len__(self) -> int:
+        return self._stats._tick_count
+
+    def __getitem__(self, index):
+        n = self._stats._tick_count
+        if isinstance(index, slice):
+            return [self._stats._tick_at(i) for i in range(*index.indices(n))]
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("tick index out of range")
+        return self._stats._tick_at(index)
+
+    def __iter__(self) -> Iterator[TickSample]:
+        for index in range(self._stats._tick_count):
+            yield self._stats._tick_at(index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"_TickSeries(n={len(self)})"
+
+
 class StatsCollector:
     """Accumulates per-tick samples and per-job outcomes for one run."""
 
     def __init__(self) -> None:
-        self.ticks: list[TickSample] = []
         self.completed_jobs: list[Job] = []
         self.dismissed_jobs: list[Job] = []
+        self._columns: dict[str, np.ndarray] = {
+            name: np.empty(
+                _INITIAL_CAPACITY,
+                dtype=np.int64 if name in _INT_FIELDS else np.float64,
+            )
+            for name in TickSample.FIELDS
+        }
+        self._tick_count = 0
         self._energy_kwh = 0.0
         self._it_energy_kwh = 0.0
         self._cooling_energy_kwh = 0.0
         self._utilization_weight = 0.0
         self._time_weight_s = 0.0
+        # Incrementally maintained summary metrics (historically recomputed
+        # by scanning all ticks/jobs on every property access).
+        self._max_pue = 1.0
+        self._node_hours = 0.0
+        self._wait_sum_s = 0.0
+        self._wait_count = 0
+        self._max_wait_s = 0.0
+        self._first_sim_start: float | None = None
+        self._last_sim_end: float | None = None
 
     # -- recording ------------------------------------------------------------
+
+    @property
+    def ticks(self) -> _TickSeries:
+        """The recorded samples as a lazy, read-only sequence view."""
+        return _TickSeries(self)
+
+    def _tick_at(self, index: int) -> TickSample:
+        columns = self._columns
+        return TickSample(
+            *(
+                int(columns[name][index])
+                if name in _INT_FIELDS
+                else float(columns[name][index])
+                for name in TickSample.FIELDS
+            )
+        )
+
+    def _grow(self) -> None:
+        capacity = max(_INITIAL_CAPACITY, 2 * self._tick_count)
+        for name, column in self._columns.items():
+            grown = np.empty(capacity, dtype=column.dtype)
+            grown[: self._tick_count] = column[: self._tick_count]
+            self._columns[name] = grown
 
     def record_tick(
         self,
@@ -128,7 +219,36 @@ class StatsCollector:
             pue = float("inf")
         else:
             pue = 1.0
-        sample = TickSample(
+        index = self._tick_count
+        columns = self._columns
+        if index == len(columns["time_s"]):
+            self._grow()
+            columns = self._columns
+        columns["time_s"][index] = now
+        columns["dt_s"][index] = dt_s
+        columns["compute_power_kw"][index] = power.compute_power_kw
+        columns["loss_power_kw"][index] = power.loss_kw
+        columns["cooling_power_kw"][index] = cooling_kw
+        columns["facility_power_kw"][index] = facility_kw
+        columns["pue"][index] = pue
+        columns["allocated_nodes"][index] = power.allocated_nodes
+        columns["utilization"][index] = utilization
+        columns["running_jobs"][index] = running_jobs
+        columns["queued_jobs"][index] = queued_jobs
+        columns["mean_cpu_util"][index] = power.mean_cpu_util
+        columns["mean_gpu_util"][index] = power.mean_gpu_util
+        self._tick_count = index + 1
+        hours = dt_s / 3600.0
+        self._energy_kwh += facility_kw * hours
+        self._it_energy_kwh += power.compute_power_kw * hours
+        self._cooling_energy_kwh += cooling_kw * hours
+        self._utilization_weight += utilization * dt_s
+        self._time_weight_s += dt_s
+        if power.compute_power_kw > 0 and math.isfinite(pue) and pue > self._max_pue:
+            self._max_pue = pue
+        # Returned sample built straight from the locals — no column
+        # re-reads or per-field dtype dispatch on the engine's hot path.
+        return TickSample(
             time_s=now,
             dt_s=dt_s,
             compute_power_kw=power.compute_power_kw,
@@ -143,21 +263,32 @@ class StatsCollector:
             mean_cpu_util=power.mean_cpu_util,
             mean_gpu_util=power.mean_gpu_util,
         )
-        self.ticks.append(sample)
-        hours = dt_s / 3600.0
-        self._energy_kwh += facility_kw * hours
-        self._it_energy_kwh += power.compute_power_kw * hours
-        self._cooling_energy_kwh += cooling_kw * hours
-        self._utilization_weight += sample.utilization * dt_s
-        self._time_weight_s += dt_s
-        return sample
 
     def record_job(self, job: Job) -> None:
         """Record a job leaving the system (completed or dismissed)."""
-        if job.state is JobState.COMPLETED:
-            self.completed_jobs.append(job)
-        else:
+        if job.state is not JobState.COMPLETED:
             self.dismissed_jobs.append(job)
+            return
+        self.completed_jobs.append(job)
+        duration = job.sim_duration
+        if duration is not None:
+            self._node_hours += job.nodes_required * duration / 3600.0
+        wait = job.wait_time
+        if wait is not None:
+            self._wait_sum_s += wait
+            self._wait_count += 1
+            if wait > self._max_wait_s:
+                self._max_wait_s = wait
+        start = job.sim_start_time
+        if start is not None and (
+            self._first_sim_start is None or start < self._first_sim_start
+        ):
+            self._first_sim_start = start
+        end = job.sim_end_time
+        if end is not None and (
+            self._last_sim_end is None or end > self._last_sim_end
+        ):
+            self._last_sim_end = end
 
     # -- derived metrics -------------------------------------------------------
 
@@ -197,16 +328,10 @@ class StatsCollector:
 
         Zero-IT ticks report PUE = inf by convention (see module docstring)
         and are excluded here rather than letting the sentinel swamp the
-        maximum of the meaningful samples.
+        maximum of the meaningful samples. Maintained incrementally in
+        :meth:`record_tick` — O(1), no rescan of the tick columns.
         """
-        return max(
-            (
-                t.pue
-                for t in self.ticks
-                if t.compute_power_kw > 0 and math.isfinite(t.pue)
-            ),
-            default=1.0,
-        )
+        return self._max_pue
 
     @property
     def mean_utilization(self) -> float:
@@ -217,38 +342,33 @@ class StatsCollector:
 
     @property
     def node_hours(self) -> float:
-        """Node-hours delivered to completed jobs."""
-        total = 0.0
-        for job in self.completed_jobs:
-            duration = job.sim_duration
-            if duration is not None:
-                total += job.nodes_required * duration / 3600.0
-        return total
+        """Node-hours delivered to completed jobs (maintained incrementally)."""
+        return self._node_hours
 
     @property
     def mean_wait_s(self) -> float:
         """Mean queue wait of completed jobs, seconds."""
-        waits = [j.wait_time for j in self.completed_jobs if j.wait_time is not None]
-        if not waits:
+        if self._wait_count == 0:
             return 0.0
-        return sum(waits) / len(waits)
+        return self._wait_sum_s / self._wait_count
 
     @property
     def max_wait_s(self) -> float:
-        waits = [j.wait_time for j in self.completed_jobs if j.wait_time is not None]
-        return max(waits, default=0.0)
+        return self._max_wait_s
 
     @property
     def makespan_s(self) -> float:
         """Span from first simulated start to last simulated end."""
-        starts = [j.sim_start_time for j in self.completed_jobs if j.sim_start_time is not None]
-        ends = [j.sim_end_time for j in self.completed_jobs if j.sim_end_time is not None]
-        if not starts or not ends:
+        if self._first_sim_start is None or self._last_sim_end is None:
             return 0.0
-        return max(ends) - min(starts)
+        return self._last_sim_end - self._first_sim_start
 
     def summary(self) -> dict[str, float]:
-        """Summary metrics of the run (the numbers ``repro-sim`` prints)."""
+        """Summary metrics of the run (the numbers ``repro-sim`` prints).
+
+        Every entry is an incrementally maintained scalar, so the call is
+        O(1) regardless of how many ticks and jobs were recorded.
+        """
         return {
             "total_energy_kwh": self.total_energy_kwh,
             "it_energy_kwh": self.it_energy_kwh,
@@ -262,25 +382,45 @@ class StatsCollector:
             "makespan_s": self.makespan_s,
             "jobs_completed": float(len(self.completed_jobs)),
             "jobs_dismissed": float(len(self.dismissed_jobs)),
-            "ticks": float(len(self.ticks)),
+            "ticks": float(self._tick_count),
             "simulated_s": self.elapsed_s,
         }
 
+    def column(self, name: str) -> np.ndarray:
+        """One tick column as a numpy array slice (no per-tick boxing).
+
+        The cheap way to scan a single field of a huge run — e.g.
+        ``stats.column("running_jobs").max()`` — without materialising a
+        :class:`TickSample` per row through the :attr:`ticks` view.
+        """
+        if name not in self._columns:
+            raise KeyError(f"unknown tick column {name!r}")
+        view = self._columns[name][: self._tick_count]
+        # Read-only: the slice aliases the live buffer, and a caller
+        # mutating it would silently corrupt the recorded history (same
+        # convention as Profile's exposed arrays).
+        view.setflags(write=False)
+        return view
+
     def timeseries(self) -> dict[str, list[float]]:
-        """Column-oriented view of the per-tick samples."""
-        return {
-            name: [getattr(t, name) for t in self.ticks] for name in TickSample.FIELDS
-        }
+        """Column-oriented view of the per-tick samples.
+
+        One ``tolist()`` per column (C-level conversion to Python scalars),
+        never a per-tick Python object round-trip.
+        """
+        n = self._tick_count
+        return {name: self._columns[name][:n].tolist() for name in TickSample.FIELDS}
 
     # -- export ----------------------------------------------------------------
 
     def to_csv(self, path: str | Path) -> None:
-        """Write the per-tick time series as CSV."""
+        """Write the per-tick time series as CSV (one ``writerows`` call)."""
+        n = self._tick_count
+        columns = [self._columns[name][:n].tolist() for name in TickSample.FIELDS]
         with open(Path(path), "w", newline="") as fh:
             writer = csv.writer(fh)
             writer.writerow(TickSample.FIELDS)
-            for tick in self.ticks:
-                writer.writerow(tick.row())
+            writer.writerows(zip(*columns))
 
     def to_json(self, path: str | Path, *, include_timeseries: bool = True) -> None:
         """Write summary (and optionally the time series) as JSON.
@@ -288,27 +428,82 @@ class StatsCollector:
         Non-finite values (the PUE ``inf`` sentinel of zero-IT samples) are
         exported as ``null``: RFC 8259 has no ``Infinity`` token, and
         emitting one would make the file unreadable for strict parsers.
+        The time series streams column by column through the array-aware
+        :func:`json_safe` — a vectorised finiteness pass per column, not a
+        per-element recursion over the whole record.
         """
         payload: dict[str, object] = {"summary": json_safe(self.summary())}
         if include_timeseries:
-            payload["timeseries"] = json_safe(self.timeseries())
+            n = self._tick_count
+            payload["timeseries"] = {
+                name: json_safe(self._columns[name][:n])
+                for name in TickSample.FIELDS
+            }
         Path(path).write_text(
             json.dumps(payload, indent=2, allow_nan=False) + "\n"
         )
 
 
-def json_safe(value):
-    """Recursively replace non-finite floats with ``None`` for strict JSON.
+def _json_scalar(value):
+    """One leaf of :func:`json_safe`: numpy-aware, non-finite floats → None."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind == "f":
+            finite = np.isfinite(value)
+            if finite.all():
+                return value.tolist()
+            boxed = value.astype(object)
+            boxed[~finite] = None
+            return boxed.tolist()
+        return value.tolist()
+    if isinstance(value, np.floating):
+        scalar = float(value)
+        return scalar if math.isfinite(scalar) else None
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
 
-    RFC 8259 has no ``Infinity``/``NaN`` token, so any record that may
-    carry the PUE ``inf`` sentinel (or other non-finite metrics) must pass
-    through this before ``json.dumps(..., allow_nan=False)``. Shared by
+
+def json_safe(value):
+    """Make ``value`` strict-JSON-serialisable, iteratively and array-aware.
+
+    Non-finite floats become ``None``: RFC 8259 has no ``Infinity``/``NaN``
+    token, so any record that may carry the PUE ``inf`` sentinel (or other
+    non-finite metrics) must pass through this before
+    ``json.dumps(..., allow_nan=False)``. Numpy scalars convert to their
+    Python equivalents and numpy arrays to (nested) lists via a single
+    vectorised finiteness pass — a million-row timeseries column never
+    takes a per-element Python recursion. Containers are walked with an
+    explicit stack (no recursion depth limit). Shared by
     :meth:`StatsCollector.to_json` and the benchmark harness.
     """
-    if isinstance(value, float) and not math.isfinite(value):
-        return None
-    if isinstance(value, dict):
-        return {key: json_safe(item) for key, item in value.items()}
-    if isinstance(value, list):
-        return [json_safe(item) for item in value]
-    return value
+    _containers = (dict, list, tuple)
+    if not isinstance(value, _containers):
+        return _json_scalar(value)
+    root: list = [None]
+    stack: list[tuple[dict | list | tuple, dict | list, int | str]] = [
+        (value, root, 0)
+    ]
+    while stack:
+        source, target, key = stack.pop()
+        if isinstance(source, dict):
+            converted: dict | list = {}
+            target[key] = converted
+            for item_key, item in source.items():
+                if isinstance(item, _containers):
+                    converted[item_key] = None  # placeholder keeps key order
+                    stack.append((item, converted, item_key))
+                else:
+                    converted[item_key] = _json_scalar(item)
+        else:
+            converted = [None] * len(source)
+            target[key] = converted
+            for index, item in enumerate(source):
+                if isinstance(item, _containers):
+                    stack.append((item, converted, index))
+                else:
+                    converted[index] = _json_scalar(item)
+    return root[0]

@@ -12,6 +12,7 @@ from .system_power import (
     RunningSetPowerAggregator,
     SystemPowerModel,
     SystemPowerSample,
+    build_power_states,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "RunningSetPowerAggregator",
     "SystemPowerModel",
     "SystemPowerSample",
+    "build_power_states",
 ]

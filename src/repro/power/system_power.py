@@ -219,19 +219,38 @@ class _JobPowerState:
         "current_gpu_weighted",
     )
 
-    def __init__(self, job: Job, model: NodePowerModel, now: float) -> None:
+    def __init__(
+        self,
+        job: Job,
+        times: np.ndarray,
+        power_w: np.ndarray,
+        cpu_weighted: np.ndarray,
+        gpu_weighted: np.ndarray,
+        now: float,
+    ) -> None:
         self.job = job
         self.start = job.sim_start_time if job.sim_start_time is not None else now
+        self.times = times
+        self.power_w = power_w
+        self.cpu_weighted = cpu_weighted
+        self.gpu_weighted = gpu_weighted
+        self.next_change = math.inf
+        self.current_power_w = 0.0
+        self.current_cpu_weighted = 0.0
+        self.current_gpu_weighted = 0.0
+        self.advance_to(now)
+
+    @classmethod
+    def for_job(cls, job: Job, model: NodePowerModel, now: float) -> "_JobPowerState":
+        """Per-job construction: one profile/model evaluation per job.
+
+        This is the differential baseline for :func:`build_power_states`
+        (engine flag ``vectorized=False``): the batched builder must produce
+        bit-identical grids and powers, and the property tests hold the two
+        to exactly that.
+        """
         nodes = job.nodes_required
-        grids = [profile.change_grid()[0] for profile in job.power_profiles()]
-        if all(grid.size == 1 for grid in grids):
-            # All profiles constant: every grid is exactly [0.0], so the
-            # union is too — skip the concatenate/unique round-trip, which
-            # dominates state construction on summary-only (scalar
-            # telemetry) workloads at frontier scale.
-            times = grids[0]
-        else:
-            times = np.unique(np.concatenate(grids))
+        times = _union_grid(job)
         cpu_values = job.cpu_util.values_at(times)
         gpu_values = job.gpu_util.values_at(times)
         if job.node_power is not None:
@@ -242,15 +261,7 @@ class _JobPowerState:
                 np.asarray(model.power(cpu_values, gpu_values, mem_values), dtype=float)
                 * nodes
             )
-        self.times = times
-        self.power_w = watts
-        self.cpu_weighted = cpu_values * nodes
-        self.gpu_weighted = gpu_values * nodes
-        self.next_change = math.inf
-        self.current_power_w = 0.0
-        self.current_cpu_weighted = 0.0
-        self.current_gpu_weighted = 0.0
-        self.advance_to(now)
+        return cls(job, times, watts, cpu_values * nodes, gpu_values * nodes, now)
 
     def advance_to(self, now: float) -> None:
         """Move the cached contribution to the grid interval containing ``now``."""
@@ -268,6 +279,230 @@ class _JobPowerState:
             self.next_change = self.start + float(times[index + 1])
         else:
             self.next_change = math.inf
+
+
+def _union_grid(job: Job) -> np.ndarray:
+    """Union of the change-point grids of a job's power-relevant profiles."""
+    grids = [profile.change_grid()[0] for profile in job.power_profiles()]
+    if all(grid.size == 1 for grid in grids):
+        # All profiles constant: every grid is exactly [0.0], so the
+        # union is too — skip the concatenate/unique round-trip, which
+        # dominates state construction on summary-only (scalar
+        # telemetry) workloads at frontier scale.
+        return grids[0]
+    return np.unique(np.concatenate(grids))
+
+
+#: Segment roles of a job's ``power_profiles()`` tuple: with a recorded
+#: power trace the tuple is (node_power, cpu, gpu), otherwise (cpu, gpu, mem).
+_ROLE_WATTS, _ROLE_CPU, _ROLE_GPU, _ROLE_MEM = 0, 1, 2, 3
+_ROLES_TRACE = (_ROLE_WATTS, _ROLE_CPU, _ROLE_GPU)
+_ROLES_MODEL = (_ROLE_CPU, _ROLE_GPU, _ROLE_MEM)
+
+
+def build_power_states(
+    jobs_models: Sequence[tuple[Job, NodePowerModel]], now: float
+) -> list[_JobPowerState]:
+    """Construct the :class:`_JobPowerState` of ``k`` started jobs in one pass.
+
+    The whole batch is processed in *integer rank space*: one global
+    ``np.unique`` over every job's change-point grids yields the distinct
+    times and each point's rank; per-job grid unions, zero-order-hold value
+    lookups (a single segmented ``searchsorted`` — segments kept disjoint
+    by integer key offsets, which unlike float offsets are exact), the
+    :class:`NodePowerModel` evaluation (once per distinct model per
+    refresh, not per job), the node-count weighting, and the initial
+    ``advance_to(now)`` positioning are each **one** vectorised pass over
+    the concatenation; the per-job arrays are then sliced back as views.
+    Every resulting array and cached scalar is bit-identical to
+    :meth:`_JobPowerState.for_job` (the same IEEE operations applied
+    element-wise; rank arithmetic is exact), so the batched and per-job
+    paths are interchangeable — the engine gates them behind ``vectorized``
+    purely as a differential benchmark baseline, and the property tests
+    hold the two to bit equality.
+    """
+    count = len(jobs_models)
+    if count == 0:
+        return []
+
+    # -- collect the per-profile change grids (cached on each Profile) -------
+    seg_times: list[np.ndarray] = []      # per segment: change-grid times
+    seg_values: list[np.ndarray] = []     # per segment: change-grid values
+    seg_role: list[int] = []              # per segment: _ROLE_* label
+    seg_job: list[int] = []               # per segment: owning job index
+    trace_job_indices: list[int] = []
+    #: id(model) -> (model, job indices) for component-model jobs.
+    model_groups: dict[int, tuple[NodePowerModel, list[int]]] = {}
+    for index, (job, model) in enumerate(jobs_models):
+        roles = _ROLES_MODEL
+        if job.node_power is not None:
+            roles = _ROLES_TRACE
+            trace_job_indices.append(index)
+        else:
+            group = model_groups.get(id(model))
+            if group is None:
+                model_groups[id(model)] = group = (model, [])
+            group[1].append(index)
+        for role, profile in zip(roles, job.power_profiles()):
+            grid_times, grid_values = profile.change_grid()
+            seg_times.append(grid_times)
+            seg_values.append(grid_values)
+            seg_role.append(role)
+            seg_job.append(index)
+
+    n_seg = len(seg_times)
+    seg_lengths = np.array([times.size for times in seg_times])
+    point_seg = np.repeat(np.arange(n_seg), seg_lengths)
+    point_job = np.asarray(seg_job)[point_seg]
+
+    # -- rank space: global distinct times, each point's rank ----------------
+    all_times = np.concatenate(seg_times)
+    distinct_times, point_rank = np.unique(all_times, return_inverse=True)
+    n_rank = distinct_times.size
+
+    # -- per-job union grids: unique (job, rank) keys, job-major -------------
+    union_keys = np.unique(point_job * n_rank + point_rank)
+    union_job = union_keys // n_rank
+    union_rank = union_keys - union_job * n_rank
+    union_times = distinct_times[union_rank]
+    union_counts = np.bincount(union_job, minlength=count)
+    union_offsets = np.concatenate([[0], np.cumsum(union_counts)])
+    # Identical values to the per-job ``np.unique(np.concatenate(grids))``:
+    # the same floats, sorted and deduplicated, just computed for the whole
+    # batch at once.
+
+    # -- zero-order-hold lookup: one segmented searchsorted ------------------
+    # Haystack: every grid point keyed ``segment * n_rank + rank`` — sorted,
+    # because grids ascend within a segment and segment keys are disjoint.
+    # Needles: for each segment, its job's union ranks under the same
+    # segment offset. ``searchsorted(..., "right") - 1`` then lands on the
+    # segment's last grid point at or before each union time (every grid
+    # starts at t=0.0, so the result never leaves the segment), exactly the
+    # ``Profile.values_at`` hold rule.
+    needle_lengths = union_counts[seg_job]
+    needle_starts = union_offsets[seg_job]
+    total_needles = int(needle_lengths.sum())
+    needle_local = np.arange(total_needles) - np.repeat(
+        np.cumsum(needle_lengths) - needle_lengths, needle_lengths
+    )
+    needle_pos = needle_local + np.repeat(needle_starts, needle_lengths)
+    needle_keys = union_rank[needle_pos] + np.repeat(
+        np.arange(n_seg) * n_rank, needle_lengths
+    )
+    haystack_keys = point_seg * n_rank + point_rank
+    held_index = np.searchsorted(haystack_keys, needle_keys, side="right") - 1
+    held_values = np.concatenate(seg_values)[held_index]
+
+    # -- split held values by role (job-major order is preserved) ------------
+    point_role = np.repeat(seg_role, needle_lengths)
+    cpu_values = held_values[point_role == _ROLE_CPU]
+    gpu_values = held_values[point_role == _ROLE_GPU]
+
+    node_counts = np.array([float(job.nodes_required) for job, _ in jobs_models])
+    weights = np.repeat(node_counts, union_counts)
+    cpu_weighted = cpu_values * weights
+    gpu_weighted = gpu_values * weights
+
+    # -- power: one model evaluation per distinct model ----------------------
+    if len(model_groups) == 1 and not trace_job_indices:
+        # Every job uses the same component model (the common case): the
+        # role-split arrays already are the model inputs, in job order.
+        (model, _indices), = model_groups.values()
+        model_watts = np.asarray(
+            model.power(cpu_values, gpu_values, held_values[point_role == _ROLE_MEM]),
+            dtype=float,
+        )
+        model_watts *= weights
+        watts = model_watts
+    else:
+        watts = np.empty(int(union_counts.sum()))
+        mem_values = held_values[point_role == _ROLE_MEM]
+        trace_values = held_values[point_role == _ROLE_WATTS]
+        # Offsets of each job's slice within the role-split arrays.
+        is_trace = np.zeros(count, dtype=bool)
+        is_trace[trace_job_indices] = True
+        mem_offsets = np.concatenate(
+            [[0], np.cumsum(np.where(is_trace, 0, union_counts))]
+        )
+        trace_offsets = np.concatenate(
+            [[0], np.cumsum(np.where(is_trace, union_counts, 0))]
+        )
+        def job_slice(offsets: np.ndarray, i: int) -> slice:
+            return slice(offsets[i], offsets[i] + union_counts[i])
+
+        for i in trace_job_indices:
+            watts[union_offsets[i] : union_offsets[i + 1]] = (
+                trace_values[job_slice(trace_offsets, i)]
+                * jobs_models[i][0].nodes_required
+            )
+        job_cpu = lambda i: cpu_values[union_offsets[i] : union_offsets[i + 1]]
+        job_gpu = lambda i: gpu_values[union_offsets[i] : union_offsets[i + 1]]
+        for model, indices in model_groups.values():
+            group_watts = np.asarray(
+                model.power(
+                    np.concatenate([job_cpu(i) for i in indices]),
+                    np.concatenate([job_gpu(i) for i in indices]),
+                    np.concatenate(
+                        [mem_values[job_slice(mem_offsets, i)] for i in indices]
+                    ),
+                ),
+                dtype=float,
+            )
+            group_watts *= np.repeat(node_counts[indices], union_counts[indices])
+            position = 0
+            for i in indices:
+                width = int(union_counts[i])
+                watts[union_offsets[i] : union_offsets[i] + width] = group_watts[
+                    position : position + width
+                ]
+                position += width
+
+    # -- vectorised initial advance_to(now) ----------------------------------
+    starts = np.array(
+        [
+            job.sim_start_time if job.sim_start_time is not None else now
+            for job, _ in jobs_models
+        ]
+    )
+    elapsed = np.maximum(now - starts, 0.0)
+    # Count of union times at or before each job's elapsed time, computed in
+    # rank space: ``searchsorted(distinct_times, elapsed, "right")`` bounds
+    # the rank, then the (job, rank) key bounds the job's union slice — the
+    # same index ``advance_to`` finds with its per-job searchsorted.
+    elapsed_rank = np.searchsorted(distinct_times, elapsed, side="right")
+    held_counts = (
+        np.searchsorted(
+            union_keys, np.arange(count) * n_rank + elapsed_rank, side="left"
+        )
+        - union_offsets[:-1]
+    )
+    current_index = np.maximum(held_counts - 1, 0) + union_offsets[:-1]
+    current_power = watts[current_index]
+    current_cpu = cpu_weighted[current_index]
+    current_gpu = gpu_weighted[current_index]
+    has_next = current_index + 1 < union_offsets[1:]
+    next_change = np.where(
+        has_next,
+        starts + union_times[np.minimum(current_index + 1, len(union_times) - 1)],
+        math.inf,
+    )
+
+    states: list[_JobPowerState] = []
+    for index, (job, _) in enumerate(jobs_models):
+        span = slice(union_offsets[index], union_offsets[index + 1])
+        state = _JobPowerState.__new__(_JobPowerState)
+        state.job = job
+        state.start = float(starts[index])
+        state.times = union_times[span]
+        state.power_w = watts[span]
+        state.cpu_weighted = cpu_weighted[span]
+        state.gpu_weighted = gpu_weighted[span]
+        state.current_power_w = float(current_power[index])
+        state.current_cpu_weighted = float(current_cpu[index])
+        state.current_gpu_weighted = float(current_gpu[index])
+        state.next_change = float(next_change[index])
+        states.append(state)
+    return states
 
 
 class RunningSetPowerAggregator:
@@ -293,10 +528,18 @@ class RunningSetPowerAggregator:
     way), so the two modes produce bit-identical power series.
     """
 
-    def __init__(self, model: SystemPowerModel, resource_manager) -> None:
+    def __init__(
+        self,
+        model: SystemPowerModel,
+        resource_manager,
+        *,
+        batch_states: bool = True,
+    ) -> None:
         self._model = model
         self._rm = resource_manager
+        self._batch_states = batch_states
         self._epoch: int | None = None
+        self._journal_cursor = 0
         self._states: dict[int, _JobPowerState] = {}
         self._changes: list[tuple[float, int]] = []  # (abs change time, job id)
         self._job_power_w = 0.0
@@ -363,28 +606,79 @@ class RunningSetPowerAggregator:
         self._apply_due_changes(now)
 
     def _sync_membership(self, now: float) -> None:
-        """Diff the cached job set against the resource manager's."""
+        """Apply the running-set membership changes since the last refresh.
+
+        The default path consumes the resource manager's allocate/release
+        journal — O(changes) regardless of the running-set size — and hands
+        every started job to the batched state builder in one pass. When
+        the journal cannot answer (a second consumer drained it, cold start
+        after a capped buffer) or batching is disabled
+        (``batch_states=False``, the differential baseline), the historical
+        full set-diff against :attr:`ResourceManager.running_by_id` runs
+        instead; both paths add and remove the same per-job contributions,
+        so they only differ in float add/subtract association order (well
+        below the engine's 1e-9 equivalence gates).
+        """
         running = self._rm.running_by_id
-        ended = self._states.keys() - running.keys()
-        for job_id in sorted(ended):
+        self._journal_cursor, entries = self._rm.drain_change_journal(
+            self._journal_cursor
+        )
+        if entries is None or not self._batch_states:
+            ended_ids = sorted(self._states.keys() - running.keys())
+            started_jobs = [
+                running[job_id]
+                for job_id in sorted(running.keys() - self._states.keys())
+            ]
+        else:
+            # Net effect of the journal slice: a job that both started and
+            # ended between refreshes never contributed to a sample and
+            # cancels out. First-touch order preserves the chronological
+            # allocate/release order for everything else.
+            touched: dict[int, None] = {}
+            for _, job_id in entries:
+                touched.setdefault(job_id, None)
+            ended_ids = [
+                job_id
+                for job_id in touched
+                if job_id in self._states and job_id not in running
+            ]
+            started_jobs = [
+                running[job_id]
+                for job_id in touched
+                if job_id in running and job_id not in self._states
+            ]
+        for job_id in ended_ids:
             state = self._states.pop(job_id)
             self._job_power_w -= state.current_power_w
             self._cpu_weighted -= state.current_cpu_weighted
             self._gpu_weighted -= state.current_gpu_weighted
             self._nodes_busy -= state.job.nodes_required
             # Heap entries of ended jobs are discarded lazily.
-        started = running.keys() - self._states.keys()
-        for job_id in sorted(started):
-            state = _JobPowerState(
-                running[job_id], self._model.node_model(running[job_id].partition), now
-            )
-            self._states[job_id] = state
-            self._job_power_w += state.current_power_w
-            self._cpu_weighted += state.current_cpu_weighted
-            self._gpu_weighted += state.current_gpu_weighted
-            self._nodes_busy += state.job.nodes_required
-            if math.isfinite(state.next_change):
-                heapq.heappush(self._changes, (state.next_change, job_id))
+        if started_jobs:
+            if self._batch_states and len(started_jobs) > 1:
+                states = build_power_states(
+                    [
+                        (job, self._model.node_model(job.partition))
+                        for job in started_jobs
+                    ],
+                    now,
+                )
+            else:
+                states = [
+                    _JobPowerState.for_job(
+                        job, self._model.node_model(job.partition), now
+                    )
+                    for job in started_jobs
+                ]
+            for state in states:
+                job_id = state.job.job_id
+                self._states[job_id] = state
+                self._job_power_w += state.current_power_w
+                self._cpu_weighted += state.current_cpu_weighted
+                self._gpu_weighted += state.current_gpu_weighted
+                self._nodes_busy += state.job.nodes_required
+                if math.isfinite(state.next_change):
+                    heapq.heappush(self._changes, (state.next_change, job_id))
         if not self._states:
             # Flush float residue so an idle system reports exactly zero job
             # power, not the leftovers of cancelled additions.

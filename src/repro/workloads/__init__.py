@@ -10,6 +10,7 @@ utilization and power profiles (:mod:`repro.workloads.synthetic`).
 """
 
 from .distributions import (
+    BurstArrivals,
     JobSizeDistribution,
     PoissonArrivals,
     RuntimeDistribution,
@@ -19,12 +20,15 @@ from .distributions import (
 from .synthetic import (
     SyntheticWorkloadGenerator,
     WorkloadSpec,
+    burst_arrival_spec,
     busy_trace_spec,
     default_workload_spec,
     frontier_scale_spec,
 )
 
 __all__ = [
+    "BurstArrivals",
+    "burst_arrival_spec",
     "busy_trace_spec",
     "default_workload_spec",
     "frontier_scale_spec",

@@ -129,6 +129,60 @@ class PoissonArrivals:
 
 
 @dataclass(frozen=True)
+class BurstArrivals:
+    """Submissions arriving in instantaneous same-instant bursts.
+
+    Models the queue-drain restart after a maintenance window (or a
+    deadline rush): thousands of jobs are released to the scheduler in the
+    same tick, then nothing until the next burst. This is the adversarial
+    shape for any per-event cost in the engine — every burst makes one tick
+    carry thousands of submissions, placements and power-state
+    constructions — and is what the ``engine_burst_arrival`` benchmark
+    drives the batched job-start path with.
+
+    Bursts fire at ``first_burst_s + k * burst_interval_s`` (absolute
+    times); :meth:`sample` returns the ones falling inside the requested
+    window. The process is deterministic — it draws nothing from the
+    generator — so the seed only varies the job bodies, never the arrival
+    pattern.
+    """
+
+    jobs_per_burst: int = 1000
+    burst_interval_s: float = 4 * 3600.0
+    first_burst_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.jobs_per_burst < 1:
+            raise ConfigurationError("jobs_per_burst must be positive")
+        if self.burst_interval_s <= 0:
+            raise ConfigurationError("burst_interval_s must be positive")
+
+    @property
+    def rate_per_hour(self) -> float:
+        """Long-run average arrival rate (jobs/hour), for window sizing."""
+        return self.jobs_per_burst * 3600.0 / self.burst_interval_s
+
+    def sample(
+        self, rng: np.random.Generator, duration_s: float, start_s: float = 0.0
+    ) -> np.ndarray:
+        """Arrival times (seconds) in ``[start_s, start_s + duration_s)``."""
+        end_s = start_s + duration_s
+        # One index of slack on both sides, then mask: the index bounds are
+        # computed in float, and a ceil that rounds up would otherwise clip
+        # a burst landing exactly on the window edge.
+        first_index = max(
+            0, int(np.ceil((start_s - self.first_burst_s) / self.burst_interval_s)) - 1
+        )
+        last_index = (
+            int(np.ceil((end_s - self.first_burst_s) / self.burst_interval_s)) + 1
+        )
+        indices = np.arange(first_index, max(first_index, last_index), dtype=float)
+        bursts = self.first_burst_s + indices * self.burst_interval_s
+        bursts = bursts[(bursts >= start_s) & (bursts < end_s)]
+        return np.repeat(bursts, self.jobs_per_burst)
+
+
+@dataclass(frozen=True)
 class WaveArrivals:
     """Non-homogeneous Poisson arrivals with a diurnal intensity wave.
 

@@ -22,6 +22,7 @@ from ..exceptions import ConfigurationError
 from ..telemetry.job import Job
 from ..telemetry.trace import Profile, constant_profile
 from .distributions import (
+    BurstArrivals,
     JobSizeDistribution,
     RuntimeDistribution,
     UserPopulation,
@@ -156,6 +157,33 @@ def frontier_scale_spec() -> WorkloadSpec:
         arrivals=WaveArrivals(rate_per_hour=600.0, amplitude=0.2),
         trace_interval_s=None,
         generate_power_trace=False,
+    )
+
+
+def burst_arrival_spec() -> WorkloadSpec:
+    """Thousands of same-tick releases: the post-maintenance drain restart.
+
+    Every four hours the scheduler is handed 3,000 small jobs in a single
+    tick — the queue-drain restart after a maintenance window. Sized for
+    the 9,600-node ``frontier`` system (3,000 jobs of 1-4 nodes fit in one
+    wave), with short multi-phase piecewise-constant profiles
+    (``sample_noise=0.0``), so the dominant per-event cost is constructing
+    thousands of job power states at once — exactly the path the engine's
+    batched job-start construction exists for, and the differential the
+    ``engine_burst_arrival`` benchmark measures batched vs per-job. Shared
+    by ``scripts/bench_engine.py`` and the burst-arrival equivalence tests
+    so the two can never drift apart.
+    """
+    return WorkloadSpec(
+        sizes=JobSizeDistribution(min_nodes=1, max_nodes=4),
+        runtimes=RuntimeDistribution(
+            median_s=3600.0, sigma=0.4, min_s=1800.0, max_s=2 * 3600.0
+        ),
+        arrivals=BurstArrivals(jobs_per_burst=3000, burst_interval_s=4 * 3600.0),
+        trace_interval_s=900.0,
+        generate_power_trace=False,
+        phase_count_range=(2, 4),
+        sample_noise=0.0,
     )
 
 

@@ -422,3 +422,116 @@ class TestEndTimeHeap:
         assert rm.running_by_id == {}
         assert rm._end_of == {}
         _heap_invariants(rm)
+
+
+class TestChangeJournal:
+    """The allocate/release journal behind O(changes) membership sync."""
+
+    def test_drain_returns_chronological_entries(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        a = _allocate(rm, make_job(nodes=1, duration=600.0))
+        b = _allocate(rm, make_job(nodes=1, duration=300.0))
+        rm.release(a, 50.0)
+        cursor, entries = rm.drain_change_journal(0)
+        assert cursor == rm.journal_total == 3
+        assert entries == [(True, a.job_id), (True, b.job_id), (False, a.job_id)]
+
+    def test_drain_is_incremental_from_cursor(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        a = _allocate(rm, make_job(nodes=1, duration=600.0))
+        cursor, entries = rm.drain_change_journal(0)
+        assert entries == [(True, a.job_id)]
+        b = _allocate(rm, make_job(nodes=1, duration=600.0))
+        cursor, entries = rm.drain_change_journal(cursor)
+        assert entries == [(True, b.job_id)]
+        cursor, entries = rm.drain_change_journal(cursor)
+        assert entries == []
+
+    def test_stale_cursor_forces_resync(self, tiny_system):
+        # A consumer whose cursor predates the retained window (someone
+        # else drained, or the cap dropped entries) is told to resync.
+        rm = ResourceManager(tiny_system)
+        _allocate(rm, make_job(nodes=1, duration=600.0))
+        rm.drain_change_journal(0)  # first consumer empties the buffer
+        _allocate(rm, make_job(nodes=1, duration=600.0))
+        cursor, entries = rm.drain_change_journal(0)  # behind the base
+        assert entries is None
+        assert cursor == rm.journal_total
+        # Once caught up, the same consumer drains incrementally again.
+        _allocate(rm, make_job(nodes=1, duration=600.0))
+        _, entries = rm.drain_change_journal(cursor)
+        assert entries is not None and len(entries) == 1
+
+    def test_complete_finished_jobs_journals_releases(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        job = _allocate(rm, make_job(nodes=1, duration=300.0))
+        cursor, _ = rm.drain_change_journal(0)
+        rm.complete_finished_jobs(300.0)
+        _, entries = rm.drain_change_journal(cursor)
+        assert entries == [(False, job.job_id)]
+
+    def test_journal_cap_bounds_memory(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        original_cap = ResourceManager.JOURNAL_CAP
+        ResourceManager.JOURNAL_CAP = 8
+        try:
+            for _ in range(10):
+                job = _allocate(rm, make_job(nodes=1, duration=100.0))
+                rm.release(job, 0.0)
+            assert len(rm._journal) <= 8
+            assert rm.journal_total == 20
+            _, entries = rm.drain_change_journal(0)
+            assert entries is None  # dropped prefix -> resync
+        finally:
+            ResourceManager.JOURNAL_CAP = original_cap
+
+
+class TestExpectedReleaseIndex:
+    """The (expected end, nodes) index behind the EASY reservation walk."""
+
+    def test_entries_ordered_by_expected_end_then_nodes(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        late = _allocate(rm, make_job(nodes=2, duration=900.0, wall_limit=900.0))
+        early = _allocate(rm, make_job(nodes=4, duration=300.0, wall_limit=300.0))
+        tied = _allocate(rm, make_job(nodes=1, duration=300.0, wall_limit=300.0))
+        entries = list(rm.expected_release_entries())
+        assert entries == [
+            (300.0, 1, tied.job_id),
+            (300.0, 4, early.job_id),
+            (900.0, 2, late.job_id),
+        ]
+
+    def test_wall_limit_wins_over_duration(self, tiny_system):
+        # requested_runtime is the wall limit when present: the index holds
+        # the *planning* end, distinct from the end-time heap's actual end.
+        rm = ResourceManager(tiny_system)
+        job = _allocate(rm, make_job(nodes=1, duration=10_000.0, wall_limit=600.0))
+        (end, nodes, job_id), = rm.expected_release_entries()
+        assert (end, nodes, job_id) == (600.0, 1, job.job_id)
+        assert rm.next_job_end() == pytest.approx(10_000.0)
+
+    def test_released_jobs_skipped_lazily(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        gone = _allocate(rm, make_job(nodes=2, duration=600.0, wall_limit=600.0))
+        kept = _allocate(rm, make_job(nodes=1, duration=900.0, wall_limit=900.0))
+        rm.release(gone, 10.0)
+        assert [jid for _, _, jid in rm.expected_release_entries()] == [kept.job_id]
+
+    def test_compaction_drops_tombstones(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        survivors = []
+        for i in range(6):
+            job = _allocate(rm, make_job(nodes=1, duration=600.0 + i, wall_limit=600.0 + i))
+            survivors.append(job)
+        # Release many more than survive so the stale count passes the
+        # live count and the compaction threshold (>= 64 tombstones).
+        for _ in range(70):
+            job = _allocate(rm, make_job(nodes=1, duration=60.0, wall_limit=60.0))
+            rm.release(job, 0.0)
+        # Compaction ran at least once: far fewer tombstones than the 70
+        # releases, and the sorted list stays proportional to live + recent.
+        assert rm._expected_stale <= 64
+        assert len(rm._expected_sorted) == len(survivors) + rm._expected_stale
+        assert [jid for _, _, jid in rm.expected_release_entries()] == [
+            j.job_id for j in sorted(survivors, key=lambda j: j.job_id)
+        ]

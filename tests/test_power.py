@@ -199,6 +199,203 @@ class TestSystemPowerModel:
         assert with_down.idle_power_kw < without.idle_power_kw
 
 
+def _profile_from(draw_values, duration):
+    times = np.linspace(0.0, max(duration, 1.0), num=len(draw_values))
+    return Profile(times, draw_values)
+
+
+class TestBatchedPowerStates:
+    """Batched and per-job _JobPowerState construction must be bit-identical.
+
+    The engine's ``vectorized`` flag only switches between these two paths,
+    so bit equality here (grids, powers, weighted utilizations, cached
+    current values and next-change bounds) is what guarantees the
+    batched-vs-per-job benchmark gate can never drift.
+    """
+
+    @staticmethod
+    def _assert_states_identical(batched, perjob):
+        assert len(batched) == len(perjob)
+        for got, want in zip(batched, perjob):
+            assert got.job is want.job
+            assert got.start == want.start
+            assert np.array_equal(got.times, want.times)
+            assert np.array_equal(got.power_w, want.power_w)
+            assert np.array_equal(got.cpu_weighted, want.cpu_weighted)
+            assert np.array_equal(got.gpu_weighted, want.gpu_weighted)
+            assert got.current_power_w == want.current_power_w
+            assert got.current_cpu_weighted == want.current_cpu_weighted
+            assert got.current_gpu_weighted == want.current_gpu_weighted
+            assert got.next_change == want.next_change
+
+    def _build_jobs(self, rng, n_jobs, *, with_traces):
+        jobs = []
+        for i in range(n_jobs):
+            kind = rng.integers(0, 4)
+            duration = float(rng.choice([0.0, 120.0, 600.0, 3600.0]))
+            nodes = int(rng.integers(1, 6))
+            kwargs = {}
+            if kind >= 1 and duration > 0:
+                # Piecewise-constant profiles with repeated samples (the
+                # repeats must not become breakpoints) and distinct grids
+                # per component so the union is non-trivial.
+                n = int(rng.integers(2, 6))
+                kwargs["cpu_profile"] = _profile_from(
+                    np.round(rng.random(n), 2), duration
+                )
+            if kind >= 2 and duration > 0:
+                n = int(rng.integers(2, 7))
+                kwargs["gpu_profile"] = _profile_from(
+                    np.repeat(np.round(rng.random(max(1, n // 2)), 2), 2)[:n],
+                    duration * 0.7,
+                )
+            if with_traces and kind == 3 and duration > 0:
+                n = int(rng.integers(2, 5))
+                kwargs["node_power"] = _profile_from(
+                    500.0 + 300.0 * np.round(rng.random(n), 2), duration
+                )
+            job = make_job(
+                nodes=nodes,
+                submit=0.0,
+                duration=duration,
+                cpu=float(rng.random()),
+                gpu=float(rng.random()),
+                mem=float(rng.random()),
+                **kwargs,
+            )
+            if rng.random() < 0.5:
+                # Off-grid backdated start: elapsed-time indexing must agree.
+                job.mark_queued(0.0)
+                job.mark_running(float(rng.random() * 100.0), tuple(range(nodes)))
+            jobs.append(job)
+        return jobs
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_jobs=st.integers(min_value=1, max_value=12),
+        with_traces=st.booleans(),
+        now=st.sampled_from([0.0, 7.5, 90.0, 1234.5]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batched_matches_per_job_bitwise(self, seed, n_jobs, with_traces, now):
+        from repro.power.system_power import _JobPowerState, build_power_states
+
+        rng = np.random.default_rng(seed)
+        system = get_system_config("tiny")
+        model = SystemPowerModel(system)
+        node_model = model.node_model(system.partitions[0].name)
+        jobs = self._build_jobs(rng, n_jobs, with_traces=with_traces)
+        pairs = [(job, node_model) for job in jobs]
+        batched = build_power_states(pairs, now)
+        perjob = [_JobPowerState.for_job(job, node_model, now) for job in jobs]
+        self._assert_states_identical(batched, perjob)
+
+    def test_mixed_constant_trace_and_piecewise_batch(self, tiny_system):
+        from repro.power.system_power import _JobPowerState, build_power_states
+
+        model = SystemPowerModel(tiny_system)
+        node_model = model.node_model(tiny_system.partitions[0].name)
+        jobs = [
+            make_job(nodes=2, duration=600.0, cpu=0.4),  # all-constant
+            make_job(nodes=1, duration=0.0),  # zero-duration
+            make_job(
+                nodes=3,
+                duration=600.0,
+                node_power=Profile([0.0, 60.0, 60.5, 180.0], [500.0, 500.0, 750.0, 750.0]),
+            ),
+            make_job(
+                nodes=4,
+                duration=600.0,
+                cpu_profile=Profile([0.0, 120.0, 240.0], [0.2, 0.8, 0.5]),
+                gpu_profile=Profile([0.0, 90.0], [0.1, 0.9]),
+            ),
+        ]
+        pairs = [(job, node_model) for job in jobs]
+        batched = build_power_states(pairs, 15.0)
+        perjob = [_JobPowerState.for_job(job, node_model, 15.0) for job in jobs]
+        self._assert_states_identical(batched, perjob)
+
+    def test_multi_partition_models_grouped(self, two_partition_system):
+        from repro.power.system_power import _JobPowerState, build_power_states
+
+        model = SystemPowerModel(two_partition_system)
+        jobs = [
+            make_job(nodes=2, duration=600.0, cpu=0.6, partition="cpu"),
+            make_job(nodes=1, duration=600.0, gpu=0.9, partition="gpu"),
+            make_job(
+                nodes=2, duration=600.0, partition="gpu",
+                cpu_profile=Profile([0.0, 100.0], [0.3, 0.7]),
+            ),
+        ]
+        pairs = [(job, model.node_model(job.partition)) for job in jobs]
+        batched = build_power_states(pairs, 0.0)
+        perjob = [
+            _JobPowerState.for_job(job, model.node_model(job.partition), 0.0)
+            for job in jobs
+        ]
+        self._assert_states_identical(batched, perjob)
+
+    def test_aggregator_batched_matches_per_job_over_membership_churn(self, tiny_system):
+        from repro.cluster import ResourceManager
+        from repro.power import RunningSetPowerAggregator
+
+        def run(batch):
+            model = SystemPowerModel(tiny_system)
+            rm = ResourceManager(tiny_system)
+            agg = RunningSetPowerAggregator(model, rm, batch_states=batch)
+            jobs = [
+                make_job(nodes=2, submit=0.0, duration=300.0 * (i + 1),
+                         cpu_profile=Profile([0.0, 100.0 + i], [0.2, 0.8]))
+                for i in range(5)
+            ]
+            samples = []
+            for job in jobs:
+                job.mark_queued(0.0)
+                rm.allocate(job, 0.0)
+            for now in np.arange(0.0, 1600.0, 50.0):
+                rm.complete_finished_jobs(now)
+                samples.append(agg.sample(float(now)))
+            return samples
+
+        # Same op sequence either way: the only difference may be float
+        # association order inside the batch, which these workloads keep
+        # far below the engine's 1e-9 contract.
+        for batched_sample, perjob_sample in zip(run(True), run(False)):
+            assert batched_sample.job_power_kw == pytest.approx(
+                perjob_sample.job_power_kw, rel=1e-12, abs=1e-15
+            )
+            assert batched_sample.mean_cpu_util == pytest.approx(
+                perjob_sample.mean_cpu_util, rel=1e-12, abs=1e-15
+            )
+
+    def test_journal_fallback_resync_matches_scan(self, tiny_system):
+        # A second consumer finds the journal already drained and must fall
+        # back to the set-diff resync — and still match the scanning model.
+        from repro.cluster import ResourceManager
+        from repro.power import RunningSetPowerAggregator
+
+        model = SystemPowerModel(tiny_system)
+        rm = ResourceManager(tiny_system)
+        first = RunningSetPowerAggregator(model, rm)
+        second = RunningSetPowerAggregator(model, rm)
+        jobs = [make_job(nodes=2, submit=0.0, duration=600.0, cpu=0.3 * (i + 1))
+                for i in range(3)]
+        for job in jobs:
+            job.mark_queued(0.0)
+            rm.allocate(job, 0.0)
+        assert first.sample(0.0).job_power_kw > 0
+        # ``first`` drained the journal; ``second`` starts behind it.
+        reference = model.sample(0.0, rm.running_jobs)
+        got = second.sample(0.0)
+        assert got.job_power_kw == pytest.approx(reference.job_power_kw)
+        rm.release(jobs[0], 100.0)
+        reference = model.sample(100.0, rm.running_jobs)
+        for aggregator in (first, second):
+            assert aggregator.sample(100.0).job_power_kw == pytest.approx(
+                reference.job_power_kw
+            )
+
+
 class TestRunningSetPowerAggregator:
     """The incremental aggregator must reproduce the scanning evaluation."""
 

@@ -212,3 +212,77 @@ class TestEdgeCaseEquivalence:
             make_job(nodes=1, submit=3 * 3600.0, start=3 * 3600.0, duration=60.0),
         ]
         _assert_dense_event_equivalent(tiny_system, jobs, policy, horizon)
+
+
+def _assert_batched_perjob_equivalent(tiny_system, jobs, policy, horizon_s=None):
+    """vectorized=True vs vectorized=False: same 1e-9 contract as dense-vs-event."""
+    batched = SimulationEngine(
+        tiny_system,
+        [j.copy_for_simulation() for j in jobs],
+        policy,
+        horizon_s=horizon_s,
+    ).run()
+    perjob = SimulationEngine(
+        tiny_system,
+        [j.copy_for_simulation() for j in jobs],
+        policy,
+        horizon_s=horizon_s,
+        vectorized=False,
+    ).run()
+    batched_summary, perjob_summary = batched.summary(), perjob.summary()
+    assert set(batched_summary) == set(perjob_summary)
+    for key, value in perjob_summary.items():
+        assert batched_summary[key] == pytest.approx(
+            value, rel=EQUIVALENCE_RTOL, abs=1e-12
+        ), f"{policy}/{key} drifted beyond 1e-9 between batched and per-job"
+
+
+class TestBurstArrivalEquivalence:
+    """Thousands-of-same-tick-releases shape, scaled to the tiny system.
+
+    Mirrors the ``engine_burst_arrival`` benchmark: every burst submits a
+    pile of jobs in one tick, so the batched job-start construction builds
+    many states per refresh. Dense-vs-event and batched-vs-per-job must
+    both hold to the 1e-9 contract, including when a horizon cuts a burst.
+    """
+
+    def _burst_jobs(self, tiny_system, *, seed=11, piecewise=True):
+        from repro.workloads import burst_arrival_spec
+        from repro.workloads.distributions import (
+            BurstArrivals,
+            JobSizeDistribution,
+            RuntimeDistribution,
+        )
+        from dataclasses import replace
+
+        spec = replace(
+            burst_arrival_spec(),
+            sizes=JobSizeDistribution(min_nodes=1, max_nodes=2),
+            runtimes=RuntimeDistribution(
+                median_s=900.0, sigma=0.4, min_s=300.0, max_s=1800.0
+            ),
+            arrivals=BurstArrivals(jobs_per_burst=30, burst_interval_s=3600.0),
+            trace_interval_s=300.0 if piecewise else None,
+        )
+        return SyntheticWorkloadGenerator(tiny_system, spec, seed=seed).generate(
+            2.5 * 3600.0
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_dense_event_equivalence_on_bursts(self, tiny_system, policy):
+        jobs = self._burst_jobs(tiny_system)
+        _assert_dense_event_equivalent(tiny_system, jobs, policy, None)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_batched_perjob_equivalence_on_bursts(self, tiny_system, policy):
+        jobs = self._burst_jobs(tiny_system)
+        _assert_batched_perjob_equivalent(tiny_system, jobs, policy)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_burst_cut_by_horizon(self, tiny_system, policy):
+        # The horizon falls inside the second burst's drain: truncation,
+        # dismissal and the final partial sample must agree across all
+        # four engine variants.
+        jobs = self._burst_jobs(tiny_system, piecewise=False)
+        _assert_dense_event_equivalent(tiny_system, jobs, policy, 5401.7)
+        _assert_batched_perjob_equivalent(tiny_system, jobs, policy, 5401.7)

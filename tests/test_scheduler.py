@@ -520,3 +520,163 @@ class TestBackfillNoOpMemoization:
         decisions = scheduler.schedule((job,), rm, 0.0)
         assert len(decisions) == 1
         assert scheduler._noop_key is None
+
+
+class TestReplayOrderMemo:
+    """The memoized (start, job id) queue ordering of ReplayScheduler."""
+
+    def _queued(self, *specs):
+        jobs = [make_job(nodes=1, submit=0.0, start=s, duration=600.0) for s in specs]
+        for job in jobs:
+            job.mark_queued(0.0)
+        return jobs
+
+    def test_memo_reused_while_epoch_and_queue_stable(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        scheduler = ReplayScheduler()
+        jobs = self._queued(900.0, 300.0, 600.0)
+        first = scheduler._ordered_queue(jobs, rm)
+        assert [j.start_time for j in first] == [300.0, 600.0, 900.0]
+        assert scheduler._ordered_queue(jobs, rm) is first  # memo hit
+
+    def test_same_length_different_queue_is_not_aliased(self, tiny_system):
+        # Same epoch, same length, different members: the id check must
+        # reject the memo and sort the new queue (a trap for direct
+        # callers outside the engine's calling pattern).
+        rm = ResourceManager(tiny_system)
+        scheduler = ReplayScheduler()
+        queue_a = self._queued(900.0, 300.0)
+        queue_b = self._queued(120.0, 60.0)
+        scheduler._ordered_queue(queue_a, rm)
+        ordered_b = scheduler._ordered_queue(queue_b, rm)
+        assert [j.start_time for j in ordered_b] == [60.0, 120.0]
+
+    def test_allocation_invalidates_memo(self, tiny_system):
+        rm = ResourceManager(tiny_system)
+        scheduler = ReplayScheduler()
+        jobs = self._queued(900.0, 300.0)
+        first = scheduler._ordered_queue(jobs, rm)
+        runner = make_job(nodes=1, submit=0.0, duration=600.0)
+        runner.mark_queued(0.0)
+        rm.allocate(runner, 0.0)  # epoch bump
+        assert scheduler._ordered_queue(jobs, rm) is not first
+
+    def test_schedule_results_identical_with_and_without_memo(self, tiny_system):
+        def run(vectorized):
+            rm = ResourceManager(tiny_system)
+            scheduler = ReplayScheduler()
+            scheduler.vectorized = vectorized
+            jobs = self._queued(45.0, 30.0, 1200.0)
+            started = []
+            for now in (0.0, 30.0, 45.0, 60.0, 1200.0):
+                decisions = scheduler.schedule(jobs, rm, now)
+                for decision in decisions:
+                    rm.allocate(decision.job, decision.start_time or now)
+                    jobs.remove(decision.job)
+                started.append(
+                    (now, sorted(d.start_time for d in decisions),
+                     scheduler.next_event_hint(jobs, now))
+                )
+            return started
+
+        assert run(True) == run(False)
+
+
+class TestBackfillReservationIndex:
+    """The vectorized reservation (expected-release index) vs the scan."""
+
+    def _rig(self, system, running_specs, queue_specs, now):
+        def build(vectorized):
+            rm = ResourceManager(system)
+            scheduler = BackfillScheduler()
+            scheduler.vectorized = vectorized
+            for nodes, duration, limit in running_specs:
+                job = make_job(nodes=nodes, submit=0.0, duration=duration,
+                               wall_limit=limit)
+                job.mark_queued(0.0)
+                rm.allocate(job, 0.0)
+            queue = []
+            for nodes, duration, limit in queue_specs:
+                job = make_job(nodes=nodes, submit=0.0, duration=duration,
+                               wall_limit=limit)
+                job.mark_queued(0.0)
+                queue.append(job)
+            return [
+                (d.job.nodes_required, d.job.wall_time_limit)
+                for d in scheduler.schedule(queue, rm, now)
+            ]
+
+        return build(True), build(False)
+
+    def test_indexed_and_scan_reservations_agree(self, tiny_system):
+        indexed, scanned = self._rig(
+            tiny_system,
+            running_specs=[(24, 3600.0, 3600.0), (2, 7200.0, 7200.0)],
+            queue_specs=[
+                (16, 1800.0, 1800.0),   # blocked head -> reservation
+                (4, 1200.0, 1200.0),    # ends before shadow -> backfills
+                (6, 86400.0, 86400.0),  # outlives shadow, needs spare
+            ],
+            now=60.0,
+        )
+        assert indexed == scanned
+
+    def test_overrun_occupant_agrees(self, tiny_system):
+        # Expected end in the past: shadow snaps to now on both paths.
+        indexed, scanned = self._rig(
+            tiny_system,
+            running_specs=[(24, 86400.0, 600.0)],
+            queue_specs=[(16, 1800.0, 1800.0), (8, 7200.0, 7200.0),
+                         (12, 7200.0, 7200.0)],
+            now=7200.0,
+        )
+        assert indexed == scanned
+
+    def test_unfittable_head_agrees(self, tiny_system):
+        indexed, scanned = self._rig(
+            tiny_system,
+            running_specs=[(24, 3600.0, 3600.0)],
+            queue_specs=[(40, 600.0, 600.0), (8, 7200.0, 7200.0)],
+            now=0.0,
+        )
+        assert indexed == scanned
+
+    def test_partition_confined_head_uses_scan_fallback(self, two_partition_system):
+        # A head restricted to a proper subset of the nodes cannot use the
+        # whole-pool index; both flag settings must take the same
+        # partition-aware decisions (the PR3 partition test re-run under
+        # vectorized=True lives in TestBackfillScheduler).
+        def run(vectorized):
+            rm = ResourceManager(two_partition_system)
+            scheduler = BackfillScheduler()
+            scheduler.vectorized = vectorized
+            running = make_job(nodes=6, partition="gpu", submit=0.0,
+                               duration=3600.0, wall_limit=3600.0)
+            running.mark_queued(0.0)
+            rm.allocate(running, 0.0)
+            head = make_job(nodes=7, partition="gpu", submit=10.0, wall_limit=1800.0)
+            gpu_long = make_job(nodes=2, partition="gpu", submit=20.0,
+                                duration=7200.0, wall_limit=7200.0)
+            cpu_long = make_job(nodes=4, partition="cpu", submit=30.0,
+                                duration=7200.0, wall_limit=7200.0)
+            queue = [head, gpu_long, cpu_long]
+            for job in queue:
+                job.mark_queued(job.submit_time)
+            return [d.job.partition for d in scheduler.schedule(queue, rm, 60.0)]
+
+        assert run(True) == run(False) == ["cpu"]
+
+    def test_same_tick_starts_enter_the_reservation(self, tiny_system):
+        # Phase-1 starts of the same tick must occupy the reservation walk
+        # on both paths: a 16-node head behind a fresh 24-node start.
+        indexed, scanned = self._rig(
+            tiny_system,
+            running_specs=[],
+            queue_specs=[
+                (24, 3600.0, 3600.0),   # starts now (phase 1)
+                (16, 1800.0, 1800.0),   # blocked head
+                (8, 1200.0, 1200.0),    # candidate backfill
+            ],
+            now=0.0,
+        )
+        assert indexed == scanned

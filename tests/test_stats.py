@@ -205,3 +205,166 @@ class TestCLI:
         )
         assert code == 0
         assert "jobs completed    2" in capsys.readouterr().out
+
+
+class TestColumnarStorage:
+    """The columnar tick store and its lazy TickSample view."""
+
+    def _fill(self, count):
+        stats = StatsCollector()
+        for i in range(count):
+            stats.record_tick(
+                15.0 * i, 15.0, _power_sample(100.0 + i, 5.0), None,
+                utilization=0.5, running_jobs=i % 7, queued_jobs=i % 3,
+            )
+        return stats
+
+    def test_growth_beyond_initial_capacity(self):
+        from repro.engine.stats import _INITIAL_CAPACITY
+
+        count = 2 * _INITIAL_CAPACITY + 17
+        stats = self._fill(count)
+        assert len(stats.ticks) == count
+        assert stats.ticks[0].compute_power_kw == pytest.approx(100.0)
+        assert stats.ticks[-1].compute_power_kw == pytest.approx(100.0 + count - 1)
+        assert stats.summary()["ticks"] == float(count)
+
+    def test_ticks_view_indexing_and_types(self):
+        stats = self._fill(10)
+        ticks = stats.ticks
+        assert len(ticks) == 10
+        assert isinstance(ticks[3], TickSample)
+        assert ticks[-1].time_s == pytest.approx(15.0 * 9)
+        assert isinstance(ticks[2].running_jobs, int)
+        assert isinstance(ticks[2].utilization, float)
+        sliced = ticks[2:5]
+        assert [t.time_s for t in sliced] == [30.0, 45.0, 60.0]
+        with pytest.raises(IndexError):
+            ticks[10]
+        assert [t.running_jobs for t in ticks] == [i % 7 for i in range(10)]
+
+    def test_record_tick_returns_the_recorded_sample(self):
+        stats = StatsCollector()
+        tick = stats.record_tick(
+            0.0, 15.0, _power_sample(50.0, 2.0), None,
+            utilization=0.25, running_jobs=2, queued_jobs=1,
+        )
+        assert tick == stats.ticks[0]
+
+    def test_timeseries_types_match_fields(self):
+        stats = self._fill(4)
+        series = stats.timeseries()
+        assert set(series) == set(TickSample.FIELDS)
+        assert all(isinstance(v, int) for v in series["running_jobs"])
+        assert all(isinstance(v, float) for v in series["facility_power_kw"])
+
+
+class TestIncrementalSummary:
+    """summary() is O(1): every metric matches an explicit recomputation."""
+
+    def test_max_pue_matches_scan(self):
+        stats = StatsCollector()
+        for compute, loss in ((0.0, 25.0), (100.0, 5.0), (50.0, 20.0), (80.0, 2.0)):
+            stats.record_tick(
+                0.0, 15.0, _power_sample(compute, loss), None,
+                utilization=0.0, running_jobs=0, queued_jobs=0,
+            )
+        import math
+
+        expected = max(
+            t.pue for t in stats.ticks
+            if t.compute_power_kw > 0 and math.isfinite(t.pue)
+        )
+        assert stats.max_pue == pytest.approx(expected)
+
+    def test_job_metrics_match_scan(self, finished_run):
+        stats = finished_run.stats
+        jobs = stats.completed_jobs
+        waits = [j.wait_time for j in jobs if j.wait_time is not None]
+        starts = [j.sim_start_time for j in jobs if j.sim_start_time is not None]
+        ends = [j.sim_end_time for j in jobs if j.sim_end_time is not None]
+        assert stats.node_hours == pytest.approx(
+            sum(j.nodes_required * (j.sim_duration or 0.0) for j in jobs) / 3600.0
+        )
+        assert stats.mean_wait_s == pytest.approx(sum(waits) / len(waits))
+        assert stats.max_wait_s == pytest.approx(max(waits))
+        assert stats.makespan_s == pytest.approx(max(ends) - min(starts))
+
+    def test_empty_job_metrics(self):
+        stats = StatsCollector()
+        assert stats.node_hours == 0.0
+        assert stats.mean_wait_s == 0.0
+        assert stats.max_wait_s == 0.0
+        assert stats.makespan_s == 0.0
+
+
+class TestJsonSafe:
+    """The iterative, numpy-aware json_safe conversion."""
+
+    def test_numpy_scalars_and_arrays(self):
+        import numpy as np
+
+        from repro.engine.stats import json_safe
+
+        converted = json_safe(
+            {
+                "f": np.float64(1.5),
+                "inf": np.float64("inf"),
+                "i": np.int64(7),
+                "b": np.bool_(True),
+                "arr": np.array([1.0, float("inf"), float("nan"), 2.0]),
+                "ints": np.array([1, 2, 3]),
+                "nested": {"deep": [np.float32(0.25), float("-inf")]},
+            }
+        )
+        assert converted == {
+            "f": 1.5,
+            "inf": None,
+            "i": 7,
+            "b": True,
+            "arr": [1.0, None, None, 2.0],
+            "ints": [1, 2, 3],
+            "nested": {"deep": [0.25, None]},
+        }
+        json.dumps(converted, allow_nan=False)  # strict-JSON clean
+
+    def test_key_order_preserved_with_nested_containers(self):
+        from repro.engine.stats import json_safe
+
+        value = {"first": [1.0], "second": 2.0, "third": {"a": 1}}
+        assert list(json_safe(value)) == ["first", "second", "third"]
+
+    def test_deeply_nested_does_not_recurse(self):
+        import sys
+
+        from repro.engine.stats import json_safe
+
+        depth = sys.getrecursionlimit() + 100
+        value = current = []
+        for _ in range(depth):
+            nested = []
+            current.append(nested)
+            current = nested
+        current.append(float("inf"))
+        converted = json_safe(value)
+        for _ in range(depth):
+            converted = converted[0]
+        assert converted == [None]
+
+
+class TestColumnAccessor:
+    def test_column_matches_view_without_boxing(self):
+        import numpy as np
+
+        stats = StatsCollector()
+        for i in range(5):
+            stats.record_tick(
+                15.0 * i, 15.0, _power_sample(100.0, 5.0), None,
+                utilization=0.5, running_jobs=i, queued_jobs=0,
+            )
+        column = stats.column("running_jobs")
+        assert isinstance(column, np.ndarray)
+        assert column.tolist() == [0, 1, 2, 3, 4]
+        assert int(column.max()) == 4
+        with pytest.raises(KeyError):
+            stats.column("nope")

@@ -253,3 +253,50 @@ class TestSampleNoise:
     def test_negative_noise_rejected(self):
         with pytest.raises(ConfigurationError):
             self._spec(-0.1)
+
+
+class TestBurstArrivals:
+    """The deterministic same-instant burst process behind burst_arrival_spec."""
+
+    def test_bursts_repeat_within_window(self, rng):
+        from repro.workloads.distributions import BurstArrivals
+
+        times = BurstArrivals(jobs_per_burst=5, burst_interval_s=3600.0).sample(
+            rng, 2.5 * 3600.0
+        )
+        assert times.tolist() == [0.0] * 5 + [3600.0] * 5 + [7200.0] * 5
+
+    def test_draws_nothing_from_rng(self, rng):
+        import numpy as np
+
+        from repro.workloads.distributions import BurstArrivals
+
+        before = rng.bit_generator.state
+        BurstArrivals(jobs_per_burst=3).sample(rng, 7200.0)
+        assert rng.bit_generator.state == before  # seed only shapes job bodies
+
+    def test_float_boundary_burst_is_kept(self, rng):
+        # (start_s - first)/interval can round just above an integer; the
+        # bare ceil used to clip the burst sitting exactly on the window
+        # start. Chunked windows must partition the bursts exactly.
+        import numpy as np
+
+        from repro.workloads.distributions import BurstArrivals
+
+        arrivals = BurstArrivals(jobs_per_burst=1, burst_interval_s=0.1)
+        got = arrivals.sample(rng, 0.25, start_s=3 * 0.1)
+        assert len(got) == 3 and got[0] == 3 * 0.1
+        chunked = np.concatenate([
+            arrivals.sample(rng, 0.3, start_s=0.0),
+            arrivals.sample(rng, 0.3, start_s=0.3),
+        ])
+        assert np.array_equal(arrivals.sample(rng, 0.6), chunked)
+
+    def test_validation(self):
+        from repro.exceptions import ConfigurationError
+        from repro.workloads.distributions import BurstArrivals
+
+        with pytest.raises(ConfigurationError):
+            BurstArrivals(jobs_per_burst=0)
+        with pytest.raises(ConfigurationError):
+            BurstArrivals(burst_interval_s=0.0)
