@@ -60,15 +60,25 @@ Two tooling extras ride along:
 
 ``--profile [PATH]``
     Re-run each benchmark's event-driven engine under cProfile after the
-    timed runs and write the top functions (by cumulative time) per
-    benchmark to PATH (default ``BENCH_profile.txt`` next to the record) —
-    uploaded as a CI artifact next to ``BENCH_engine.json``.
+    timed runs and write, per benchmark, a per-phase wall-time table (from
+    a span-traced run) followed by the top functions (by cumulative time)
+    to PATH (default ``BENCH_profile.txt`` next to the record) — uploaded
+    as a CI artifact next to ``BENCH_engine.json``.
+
+Per-phase breakdown
+    Every benchmark record carries a ``phase_breakdown`` section — wall
+    seconds, call count, mean microseconds and share per engine phase
+    (``schedule`` / ``coalesce`` / ``power`` / ``cooling`` / ``stats``) —
+    measured on a separate span-traced run after the timed ones, so the
+    recorded wall numbers stay uninstrumented.
 
 Soft regression check
     Before overwriting the output record, the previous ``wall_us_per_step``
     of every benchmark is read back; any benchmark now slower than 1.5x its
-    recorded best prints a prominent warning (never a CI failure — wall
-    clock on shared runners is advisory, unlike the semantic gates above).
+    recorded best prints a prominent warning and lands as a structured
+    entry under ``regressions`` in the output record (never a CI failure —
+    wall clock on shared runners is advisory, unlike the semantic gates
+    above).
 
 Usage::
 
@@ -89,6 +99,7 @@ from pathlib import Path
 from repro.config import get_system_config
 from repro.engine import SimulationEngine, parse_duration
 from repro.engine.stats import json_safe
+from repro.obs import Observability, SpanTracer
 from repro.workloads import (
     SyntheticWorkloadGenerator,
     WorkloadSpec,
@@ -118,6 +129,8 @@ REGRESSION_WARN_FACTOR = 1.5
 #: (label, thunk) pairs collected by the bench functions for ``--profile``.
 #: Only populated when profiling was requested — the thunks close over whole
 #: workloads, which would otherwise be pinned in memory for the full run.
+#: Each thunk returns the run's :class:`SpanTracer`, so the profile report
+#: can print a per-phase wall-time table next to the cProfile top functions.
 PROFILE_TARGETS: list = []
 
 
@@ -162,6 +175,40 @@ def _timed_run(
     }
 
 
+def _traced_run(system, workload, policy, seed, **engine_kwargs):
+    """One span-traced engine run; returns the tracer (aggregates only).
+
+    Always a separate run *after* the timed measurements: the timed runs
+    stay uninstrumented (``obs=None``), so tracer overhead — small, but two
+    clock reads per phase — never pollutes the recorded wall numbers.
+    """
+    tracer = SpanTracer(keep_events=False)
+    engine = SimulationEngine(
+        system, workload, policy, seed=seed,
+        obs=Observability(tracer=tracer), **engine_kwargs,
+    )
+    engine.run()
+    return tracer
+
+
+def _phase_breakdown(system, workload, policy, seed, **engine_kwargs) -> dict:
+    """Per-phase wall-time report of one traced event-driven run."""
+    tracer = _traced_run(system, workload, policy, seed, **engine_kwargs)
+    return tracer.phase_report()
+
+
+def _phase_table(report: dict) -> str:
+    """The phase report as an aligned text table (profile output)."""
+    lines = [f"{'phase':<10} {'wall_s':>10} {'calls':>10} {'mean_us':>10} {'share':>7}"]
+    for name, row in report.items():
+        share = f"{row['share']:.1%}" if "share" in row else "-"
+        lines.append(
+            f"{name:<10} {row['wall_s']:>10.4f} {row['calls']:>10.0f} "
+            f"{row['mean_us']:>10.1f} {share:>7}"
+        )
+    return "\n".join(lines)
+
+
 def bench_24h_window(args, system):
     duration_s = parse_duration(args.duration)
     generator = SyntheticWorkloadGenerator(
@@ -186,11 +233,12 @@ def bench_24h_window(args, system):
         "repeats": args.repeats,
         "best": best,
         "runs": runs,
+        "phase_breakdown": _phase_breakdown(system, workload, args.policy, args.seed),
     }
     if args.profile:
         PROFILE_TARGETS.append((
             "engine_24h_window (event-driven)",
-            lambda: SimulationEngine(system, workload, args.policy, seed=args.seed).run(),
+            lambda: _traced_run(system, workload, args.policy, args.seed),
         ))
     print(
         f"{system.name}/{args.policy}: {len(workload)} jobs, "
@@ -216,7 +264,7 @@ def _bench_dense_vs_event(benchmark, label, args, system, spec, duration):
     if args.profile:
         PROFILE_TARGETS.append((
             f"{benchmark} (event-driven)",
-            lambda: SimulationEngine(system, workload, args.policy, seed=args.seed).run(),
+            lambda: _traced_run(system, workload, args.policy, args.seed),
         ))
     record = {
         "benchmark": benchmark,
@@ -228,6 +276,7 @@ def _bench_dense_vs_event(benchmark, label, args, system, spec, duration):
         "mean_utilization": event_summary["mean_utilization"],
         "dense": dense,
         "event_driven": event,
+        "phase_breakdown": _phase_breakdown(system, workload, args.policy, args.seed),
         "step_reduction": step_reduction,
         "wall_speedup": dense["wall_s"] / event["wall_s"] if event["wall_s"] else math.inf,
         "max_summary_drift_rel": drift,
@@ -276,7 +325,7 @@ def bench_frontier_scale(args):
     if args.profile:
         PROFILE_TARGETS.append((
             "engine_frontier_scale (event-driven)",
-            lambda: SimulationEngine(system, workload, args.policy, seed=args.seed).run(),
+            lambda: _traced_run(system, workload, args.policy, args.seed),
         ))
 
     record = {
@@ -292,6 +341,7 @@ def bench_frontier_scale(args):
         "event_driven": event,
         "event_driven_scan": scan,
         "event_driven_perjob": perjob,
+        "phase_breakdown": _phase_breakdown(system, workload, args.policy, args.seed),
         "step_reduction": dense["steps"] / event["steps"] if event["steps"] else math.inf,
         "scan_vs_heap_wall_ratio": (
             scan["wall_s"] / event["wall_s"] if event["wall_s"] else math.inf
@@ -338,7 +388,7 @@ def bench_burst_arrival(args):
     if args.profile:
         PROFILE_TARGETS.append((
             "engine_burst_arrival (event-driven, batched)",
-            lambda: SimulationEngine(system, workload, policy, seed=args.seed).run(),
+            lambda: _traced_run(system, workload, policy, args.seed),
         ))
 
     record = {
@@ -353,6 +403,7 @@ def bench_burst_arrival(args):
         "dense": dense,
         "event_driven": batched,
         "event_driven_perjob": perjob,
+        "phase_breakdown": _phase_breakdown(system, workload, policy, args.seed),
         "step_reduction": (
             dense["steps"] / batched["steps"] if batched["steps"] else math.inf
         ),
@@ -432,19 +483,24 @@ def _write_profiles(path: Path, top: int = 30) -> None:
         for label, thunk in PROFILE_TARGETS:
             profiler = cProfile.Profile()
             profiler.enable()
-            thunk()
+            tracer = thunk()
             profiler.disable()
             fh.write(f"==== {label} ====\n")
+            if isinstance(tracer, SpanTracer):
+                fh.write("-- per-phase wall time --\n")
+                fh.write(_phase_table(tracer.phase_report()) + "\n\n")
             pstats.Stats(profiler, stream=fh).sort_stats("cumulative").print_stats(top)
     print(f"profile -> {path}")
 
 
-def _soft_regression_warnings(previous: dict | None, record: dict) -> list[str]:
-    """Warn when a benchmark's wall_us_per_step regressed > 1.5x vs the record.
+def _soft_regressions(previous: dict | None, record: dict) -> list[dict]:
+    """Benchmarks whose wall_us_per_step regressed > 1.5x vs the record.
 
     Advisory only: wall clock on shared CI runners is noisy, so unlike the
-    summary-drift gates this never fails the run — it just makes a slowdown
-    visible in the log before the record is overwritten.
+    summary-drift gates this never fails the run. Each regression is
+    returned as a structured entry — recorded under ``regressions`` in the
+    output record (so tooling can diff BENCH_engine.json revisions) and
+    printed as a warning before the record is overwritten.
     """
     if not previous:
         return []
@@ -462,7 +518,7 @@ def _soft_regression_warnings(previous: dict | None, record: dict) -> list[str]:
             run_of(record.get(section), "event_driven"),
             run_of(previous.get(section), "event_driven"),
         ))
-    warnings = []
+    regressions = []
     for label, new_run, old_run in pairs:
         if not new_run or not old_run:
             continue
@@ -474,12 +530,14 @@ def _soft_regression_warnings(previous: dict | None, record: dict) -> list[str]:
             and old_us > 0
             and new_us > REGRESSION_WARN_FACTOR * old_us
         ):
-            warnings.append(
-                f"PERF WARNING: {label} wall_us_per_step {new_us:.0f} exceeds "
-                f"recorded best {old_us:.0f} by more than "
-                f"{REGRESSION_WARN_FACTOR}x (advisory, not a gate)"
-            )
-    return warnings
+            regressions.append({
+                "benchmark": label,
+                "wall_us_per_step": new_us,
+                "recorded_best_us_per_step": old_us,
+                "ratio": new_us / old_us,
+                "threshold": REGRESSION_WARN_FACTOR,
+            })
+    return regressions
 
 
 def check_golden(summary: dict, golden_path: Path) -> int:
@@ -562,8 +620,17 @@ def main() -> int:
     record["python"] = platform.python_version()
     record["machine"] = platform.machine()
 
-    for warning in _soft_regression_warnings(previous_record, record):
-        print(warning, file=sys.stderr)
+    regressions = _soft_regressions(previous_record, record)
+    record["regressions"] = regressions
+    for entry in regressions:
+        print(
+            f"PERF WARNING: {entry['benchmark']} wall_us_per_step "
+            f"{entry['wall_us_per_step']:.0f} exceeds recorded best "
+            f"{entry['recorded_best_us_per_step']:.0f} by "
+            f"{entry['ratio']:.2f}x (> {entry['threshold']}x; advisory, "
+            "not a gate)",
+            file=sys.stderr,
+        )
     # Same strict-JSON convention as StatsCollector.to_json: non-finite
     # values (inf step_reduction on an empty event run, inf mean_pue on an
     # all-idle window) export as null, never as a bare Infinity token.

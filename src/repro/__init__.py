@@ -38,6 +38,13 @@ from .engine import (
     get_scheduler,
     run_simulation,
 )
+from .obs import (
+    EventLog,
+    MetricsRegistry,
+    Observability,
+    ProgressReporter,
+    SpanTracer,
+)
 from .power import SystemPowerModel
 from .telemetry import Job, JobState, Profile, constant_profile, read_swf
 from .workloads import SyntheticWorkloadGenerator, WorkloadSpec
@@ -64,6 +71,12 @@ __all__ = [
     "ResourceManager",
     "SystemPowerModel",
     "CoolingPlant",
+    # observability
+    "Observability",
+    "SpanTracer",
+    "MetricsRegistry",
+    "EventLog",
+    "ProgressReporter",
     # workload / telemetry
     "Job",
     "JobState",

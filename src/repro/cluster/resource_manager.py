@@ -109,6 +109,15 @@ class ResourceManager:
         self._expected_of: dict[int, float] = {}
         self._expected_stale = 0
 
+        # Observability counters: plain ints bumped on already-per-event
+        # paths (never per step), folded into the engine's metrics registry
+        # at run finalisation via :meth:`observability_counters`.
+        self.end_heap_pops = 0
+        self.end_heap_stale_pops = 0
+        self.journal_appends = 0
+        self.journal_drains = 0
+        self.journal_resyncs = 0
+
     #: Retained-journal cap: without a draining consumer the buffer would
     #: grow by two entries per job for the whole run, so the oldest entries
     #: are dropped beyond this size (late consumers then resync, which is
@@ -328,6 +337,7 @@ class ResourceManager:
                 if end_time > now:
                     break
                 heapq.heappop(self._end_heap)
+                self.end_heap_pops += 1
                 finished.append(self._running[job_id])
             finished.sort(key=lambda j: j.job_id)
         for job in finished:
@@ -366,6 +376,8 @@ class ResourceManager:
             end_time, job_id = heap[0]
             if self._end_of.get(job_id) != end_time:
                 heapq.heappop(heap)
+                self.end_heap_pops += 1
+                self.end_heap_stale_pops += 1
                 continue
             return end_time, job_id
         return None
@@ -391,8 +403,10 @@ class ResourceManager:
         beyond one poll interval for its steady consumer.
         """
         total = self._journal_base + len(self._journal)
+        self.journal_drains += 1
         if cursor < self._journal_base:
             entries: list[tuple[bool, int]] | None = None
+            self.journal_resyncs += 1
         elif cursor == total:
             entries = []
         else:
@@ -404,6 +418,7 @@ class ResourceManager:
     def _journal_append(self, is_allocation: bool, job_id: int) -> None:
         journal = self._journal
         journal.append((is_allocation, job_id))
+        self.journal_appends += 1
         if len(journal) > self.JOURNAL_CAP:
             # Nobody is draining: keep the newest half so a steady consumer
             # that shows up late pays one resync, not unbounded memory.
@@ -486,6 +501,19 @@ class ResourceManager:
             0 <= nid < self.total_nodes and self.nodes[nid].is_available
             for nid in job.recorded_nodes
         )
+
+    def observability_counters(self) -> dict[str, int]:
+        """Plain-int instrumentation counters (engine metrics publication).
+
+        Keys become ``rm_<key>_total`` counters in the metrics registry.
+        """
+        return {
+            "end_heap_pops": self.end_heap_pops,
+            "end_heap_stale_pops": self.end_heap_stale_pops,
+            "journal_appends": self.journal_appends,
+            "journal_drains": self.journal_drains,
+            "journal_resyncs": self.journal_resyncs,
+        }
 
     def snapshot(self) -> dict[str, float]:
         """Small dictionary snapshot of the inventory state (debug/tests)."""

@@ -24,16 +24,24 @@ Feed a Parallel Workloads Archive trace through FCFS::
 from __future__ import annotations
 
 import argparse
+import logging
+import math
 import sys
 from typing import Sequence
 
 from ..config import available_systems, get_system_config
 from ..exceptions import SRapsError
+from ..obs import EventLog, MetricsRegistry, Observability, ProgressReporter, SpanTracer
 from ..telemetry import read_swf
 from .engine import parse_duration, run_simulation
 from .scheduler import available_policies
 
 __all__ = ["main", "build_parser"]
+
+#: CLI diagnostics logger — a child of ``repro``, so the stderr handler
+#: ``main()`` attaches (and only ``main()``; importing this module never
+#: touches the logging tree) sees both CLI messages and run events.
+_LOG = logging.getLogger("repro.cli")
 
 #: (summary key, label, format, unit) rows of the printed report.
 _REPORT_ROWS = (
@@ -70,9 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy",
         dest="mode",
         default=None,
+        choices=(*available_policies(), "easy"),
+        metavar="POLICY",
         help=(
             "scheduling policy: "
-            + ", ".join(available_policies())
+            + ", ".join((*available_policies(), "easy"))
             + " (default: the system's default policy)"
         ),
     )
@@ -125,16 +135,91 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list registered system configurations and exit",
     )
+    obs_group = parser.add_argument_group("observability")
+    obs_group.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="write structured run events (job lifecycle, milestones) as JSON lines",
+    )
+    obs_group.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write per-phase spans as Chrome trace-event JSON "
+            "(load in chrome://tracing or ui.perfetto.dev)"
+        ),
+    )
+    obs_group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics snapshot (.csv extension selects CSV, else JSON)",
+    )
+    obs_group.add_argument(
+        "--progress",
+        action="store_true",
+        help="print wall-clock-cadence progress heartbeats to stderr",
+    )
+    obs_group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="stream run events to stderr (-v), plus debug diagnostics (-vv)",
+    )
     return parser
 
 
+class _ConsoleFormatter(logging.Formatter):
+    """Human-readable stderr lines; structured event fields render inline."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict) and fields:
+            details = " ".join(f"{key}={value}" for key, value in fields.items())
+            message = f"{message}  {details}"
+        if record.levelno >= logging.WARNING:
+            return f"{record.levelname.lower()}: {message}"
+        return message
+
+
 def _print_report(result_policy: str, system_name: str, summary: dict[str, float]) -> None:
+    """Print the summary table, tolerating absent keys and idle-run PUEs.
+
+    A summary produced by an older export (or a custom stats collector) may
+    lack rows; a run where no job ever drew power reports ``max_pue=inf``.
+    Neither should crash the report.
+    """
     width = max(len(label) for _, label, _, _ in _REPORT_ROWS)
     print(f"simulation of {system_name!r} under policy {result_policy!r}")
     for key, label, fmt, unit in _REPORT_ROWS:
-        value = fmt.format(summary[key])
+        raw = summary.get(key)
+        if raw is None:
+            value = "n/a"
+        elif isinstance(raw, float) and not math.isfinite(raw):
+            value = "n/a (idle)"
+        else:
+            value = fmt.format(raw)
         suffix = f" {unit}" if unit else ""
         print(f"  {label:<{width}}  {value}{suffix}")
+
+
+def _build_obs(args: argparse.Namespace) -> Observability | None:
+    """The :class:`Observability` bundle the CLI flags ask for (or ``None``)."""
+    tracer = SpanTracer() if args.trace_out else None
+    metrics = MetricsRegistry() if args.metrics_out else None
+    events = None
+    if args.log_json:
+        events = EventLog.to_jsonl(args.log_json)
+    elif args.verbose:
+        # -v without --log-json: events flow through the stderr handler.
+        events = EventLog()
+    progress = ProgressReporter(stream=sys.stderr) if args.progress else None
+    obs = Observability(tracer=tracer, metrics=metrics, events=events, progress=progress)
+    return obs if obs.enabled else None
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -147,6 +232,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{name:<16} {config.total_nodes:>7} nodes  {config.description}")
         return 0
 
+    # The stderr diagnostics handler exists only for the duration of this
+    # call: libraries importing repro never get handlers forced on them, and
+    # repeated main() invocations (tests) do not stack handlers.
+    root_log = logging.getLogger("repro")
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(_ConsoleFormatter())
+    level = (
+        logging.WARNING
+        if args.verbose == 0
+        else logging.INFO if args.verbose == 1 else logging.DEBUG
+    )
+    handler.setLevel(level)
+    prev_level = root_log.level
+    root_log.addHandler(handler)
+    if root_log.getEffectiveLevel() > level:
+        root_log.setLevel(level)
+
+    obs = _build_obs(args)
     try:
         workload = None
         if args.swf is not None:
@@ -159,10 +262,26 @@ def main(argv: Sequence[str] | None = None) -> int:
             workload=workload,
             horizon=args.horizon,
             dense_ticks=args.dense_ticks,
+            obs=obs,
         )
     except (SRapsError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _LOG.error("%s", exc)
         return 1
+    finally:
+        if obs is not None and obs.events is not None:
+            obs.events.close()
+        root_log.removeHandler(handler)
+        root_log.setLevel(prev_level)
+        handler.close()
+
+    if obs is not None:
+        if args.trace_out:
+            obs.tracer.to_chrome_trace(args.trace_out)
+        if args.metrics_out:
+            if str(args.metrics_out).endswith(".csv"):
+                obs.metrics.to_csv(args.metrics_out)
+            else:
+                obs.metrics.to_json(args.metrics_out)
 
     if args.csv:
         result.stats.to_csv(args.csv)

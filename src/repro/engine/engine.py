@@ -37,17 +37,22 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 
 from ..cluster import NodeState, ResourceManager
 from ..config import SystemConfig, get_system_config
 from ..cooling import CoolingPlant
 from ..exceptions import AllocationError, SchedulingError, SimulationError
+from ..obs import Observability
 from ..power import RunningSetPowerAggregator, SystemPowerModel
 from ..telemetry.job import Job, JobState
 from ..units import parse_duration as _parse_duration_s
 from ..workloads import SyntheticWorkloadGenerator, WorkloadSpec, default_workload_spec
 from .scheduler import BackfillScheduler, Scheduler, get_scheduler
 from .stats import StatsCollector
+
+#: Engine phases the span tracer times (one span per phase per step).
+ENGINE_PHASES = ("schedule", "coalesce", "power", "cooling", "stats")
 
 __all__ = ["SimulationEngine", "SimulationResult", "run_simulation", "parse_duration"]
 
@@ -139,6 +144,13 @@ class SimulationEngine:
         in CI); the flag exists for the batched-vs-per-job benchmark
         comparison and as a differential-testing aid, exactly like
         ``event_index``.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle — phase-span
+        tracer, metrics registry, structured event log and/or progress
+        reporter (each individually optional). With the default ``None``
+        the engine runs the uninstrumented hot path: one ``is None``
+        attribute check per phase per step, gated by the benchmark
+        harness's wall-time record. See :mod:`repro.obs`.
     """
 
     def __init__(
@@ -152,6 +164,7 @@ class SimulationEngine:
         dense_ticks: bool = False,
         event_index: bool = True,
         vectorized: bool = True,
+        obs: Observability | None = None,
     ) -> None:
         self.system = system
         if isinstance(scheduler, Scheduler):
@@ -182,6 +195,32 @@ class SimulationEngine:
         self.event_index = event_index
         self.vectorized = vectorized
         self.resource_manager.scan_completions = not event_index
+
+        # Observability: unpack the bundle into per-instrument attributes so
+        # the disabled path is a single ``is None`` check per phase. The
+        # per-phase wall histograms exist only when both tracer and metrics
+        # are on (the tracer is the timing source).
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
+        self._metrics = obs.metrics if obs is not None else None
+        self._events = obs.events if obs is not None else None
+        self._progress = obs.progress if obs is not None else None
+        self._metrics_published = False
+        self._queue_gauge = (
+            self._metrics.gauge(
+                "engine_queue_depth", "jobs waiting in the scheduler queue"
+            )
+            if self._metrics is not None
+            else None
+        )
+        self._phase_hists = None
+        if self._tracer is not None and self._metrics is not None:
+            self._phase_hists = {
+                name: self._metrics.histogram(
+                    f"engine_phase_{name}_us", f"wall time of the {name} phase, µs"
+                )
+                for name in ENGINE_PHASES
+            }
 
         self.jobs = [job.copy_for_simulation() for job in jobs]
         self._pending: deque[Job] = deque(
@@ -245,13 +284,24 @@ class SimulationEngine:
         A step normally covers one ``timestep_s`` tick; in event-driven mode
         (the default) it may cover many grid ticks at once when nothing can
         change before the next event — see :meth:`_coalesced_dt`.
+
+        When a span tracer is configured the step is carved into the
+        :data:`ENGINE_PHASES` spans — ``schedule`` (releases, submissions
+        and policy decisions), ``coalesce``, ``power``, ``cooling`` and
+        ``stats``; with no tracer the only instrumentation residue is one
+        ``is None`` check per phase.
         """
         now = self.now
         timestep = float(self.system.timestep_s)
+        tracer = self._tracer
+        events = self._events
+        t0 = perf_counter_ns() if tracer is not None else 0
 
         # (1) Release jobs whose simulated runtime has elapsed.
         for job in self.resource_manager.complete_finished_jobs(now):
             self.stats.record_job(job)
+            if events is not None:
+                events.job_finished(job, now, energy_kwh=self._job_energy_kwh(job))
 
         # (2) Submit newly-arrived jobs (at their recorded submit times).
         while self._pending and self._pending[0].submit_time <= now:
@@ -260,9 +310,13 @@ class SimulationEngine:
                 job.mark_dismissed()
                 job.metadata["dismiss_reason"] = "request exceeds system capacity"
                 self.stats.record_job(job)
+                if events is not None:
+                    events.job_dismissed(job, now)
                 continue
             job.mark_queued(job.submit_time)
             self._queue.append(job)
+            if events is not None:
+                events.job_submitted(job, now)
 
         # (3) Scheduling decisions, executed through the resource manager.
         # The queue is handed over as-is (policies treat it read-only);
@@ -294,8 +348,12 @@ class SimulationEngine:
                         f"placement at t={now:.0f}: {exc}"
                     ) from exc
                 started.add(job.job_id)
+                if events is not None:
+                    events.job_started(job, now)
             if started:
                 self._queue = [j for j in self._queue if j.job_id not in started]
+        if tracer is not None:
+            t0 = self._mark("schedule", t0)
 
         # (3b) Event-driven coalescing: how much simulated time this sample
         # stands for. Stays one tick in dense mode or whenever anything can
@@ -315,6 +373,8 @@ class SimulationEngine:
             horizon_end = self._start_time + self.horizon_s
             if now < horizon_end < now + dt_s:
                 dt_s = horizon_end - now
+        if tracer is not None:
+            t0 = self._mark("coalesce", t0)
 
         # (4) Power on the running set, (5) cooling on the resulting heat.
         # Node counts come from the resource manager's O(1) counters and the
@@ -329,11 +389,15 @@ class SimulationEngine:
         power = self.power_aggregator.sample(
             now, allocated_nodes=allocated, down_nodes=down
         )
+        if tracer is not None:
+            t0 = self._mark("power", t0)
         cooling = None
         if self.cooling_plant is not None:
             cooling = self.cooling_plant.step(
                 now, power.compute_power_kw, power.loss_kw, dt_s
             )
+            if tracer is not None:
+                t0 = self._mark("cooling", t0)
 
         # (6) Statistics.
         self.stats.record_tick(
@@ -347,13 +411,34 @@ class SimulationEngine:
             running_jobs=running_count,
             queued_jobs=len(self._queue),
         )
+        if tracer is not None:
+            self._mark("stats", t0)
+        if self._queue_gauge is not None:
+            self._queue_gauge.set(float(len(self._queue)))
         self.now = now + dt_s
 
     def run(self) -> SimulationResult:
         """Run to completion (all jobs finished, or the horizon reached)."""
+        events = self._events
+        progress = self._progress
+        run_t0 = perf_counter_ns() if self._tracer is not None else 0
+        if events is not None:
+            events.milestone(
+                "run_started",
+                self._start_time,
+                system=self.system.name,
+                policy=self.scheduler.name,
+                jobs=len(self.jobs),
+                seed=self.seed,
+                horizon_s=self.horizon_s,
+            )
+        if progress is not None:
+            progress.start()
         ticks = 0
         while not self.finished:
             if self.horizon_s is not None and self.now - self._start_time >= self.horizon_s:
+                if events is not None:
+                    events.milestone("horizon_reached", self.now)
                 self._dismiss_remaining("simulation horizon reached")
                 # Jobs still on nodes are truncated at the horizon so every
                 # job ends the run completed or dismissed (their partial
@@ -375,6 +460,10 @@ class SimulationEngine:
                         job.metadata["truncated_by_horizon"] = True
                     self.resource_manager.release(job, end)
                     self.stats.record_job(job)
+                    if events is not None:
+                        events.job_finished(
+                            job, end, energy_kwh=self._job_energy_kwh(job)
+                        )
                 break
             if ticks >= self._max_ticks:
                 raise SimulationError(
@@ -383,7 +472,9 @@ class SimulationEngine:
                 )
             self.step()
             ticks += 1
-        return SimulationResult(
+            if progress is not None and progress.due():
+                progress.report(self)
+        result = SimulationResult(
             system=self.system,
             policy=self.scheduler.name,
             stats=self.stats,
@@ -392,6 +483,9 @@ class SimulationEngine:
             end_time_s=self.now,
             seed=self.seed,
         )
+        if self.obs is not None:
+            self._finalize_obs(result, run_t0)
+        return result
 
     # -- event-driven time advancement -----------------------------------------
 
@@ -476,12 +570,103 @@ class SimulationEngine:
 
     def _dismiss_remaining(self, reason: str) -> None:
         """Dismiss everything not yet running when the run is cut short."""
+        events = self._events
         for job in list(self._pending) + self._queue:
             job.mark_dismissed()
             job.metadata["dismiss_reason"] = reason
             self.stats.record_job(job)
+            if events is not None:
+                events.job_dismissed(job, self.now, reason)
         self._pending.clear()
         self._queue.clear()
+
+    # -- observability ---------------------------------------------------------
+
+    def _mark(self, name: str, t0_ns: int) -> int:
+        """Close one phase span (and feed its wall histogram when kept)."""
+        end_ns = self._tracer.add(name, t0_ns)
+        hists = self._phase_hists
+        if hists is not None:
+            hists[name].observe((end_ns - t0_ns) / 1e3)
+        return end_ns
+
+    def _job_energy_kwh(self, job: Job) -> float:
+        """Energy attribution for one finished job's event record, kWh.
+
+        Integrates the job's recorded power trace (or the component model
+        over its utilization profiles) across its *recorded* duration —
+        for horizon-truncated jobs this is the recorded-schedule estimate,
+        not the truncated-sim share.
+        """
+        return self.power_model.job_energy_joules(job) / 3.6e6
+
+    def _finalize_obs(self, result: SimulationResult, run_t0_ns: int) -> None:
+        """Close the run span, publish metrics, emit the final events."""
+        if self._tracer is not None:
+            self._tracer.add("run", run_t0_ns)
+        if self._metrics is not None and not self._metrics_published:
+            self._metrics_published = True
+            self._publish_metrics()
+        if self._events is not None:
+            summary = result.summary()
+            self._events.milestone(
+                "run_finished",
+                self.now,
+                jobs_completed=int(summary["jobs_completed"]),
+                jobs_dismissed=int(summary["jobs_dismissed"]),
+                steps=int(summary["ticks"]),
+                simulated_s=summary["simulated_s"],
+                total_energy_kwh=summary["total_energy_kwh"],
+                mean_pue=summary["mean_pue"],
+            )
+        if self._progress is not None:
+            self._progress.report(self, final=True)
+
+    def _publish_metrics(self) -> None:
+        """Publish the components' plain-int counters into the registry.
+
+        Components (resource manager, power aggregator, scheduler, stats
+        collector) never touch the registry on the hot path — they keep
+        cheap integer attributes which are folded in here, once per run.
+        """
+        metrics = self._metrics
+        stats = self.stats
+        steps = len(stats.ticks)
+        timestep = float(self.system.timestep_s)
+        metrics.counter(
+            "engine_steps_total", "engine steps (recorded samples)"
+        ).inc(steps)
+        grid_ticks = int(round(stats.elapsed_s / timestep)) if timestep else 0
+        metrics.counter(
+            "engine_grid_ticks_coalesced_total",
+            "grid ticks skipped by event-driven coalescing",
+        ).inc(max(0, grid_ticks - steps))
+        metrics.counter(
+            "engine_jobs_completed_total", "jobs that ran to completion"
+        ).inc(len(stats.completed_jobs))
+        metrics.counter(
+            "engine_jobs_dismissed_total", "jobs dismissed (infeasible/horizon)"
+        ).inc(len(stats.dismissed_jobs))
+        metrics.gauge("engine_sim_time_s", "simulated span covered").set(
+            self.now - self._start_time
+        )
+        if steps:
+            metrics.gauge(
+                "engine_running_jobs_peak", "maximum concurrently running jobs"
+            ).set(float(stats.column("running_jobs").max()))
+        for name, value in self.resource_manager.observability_counters().items():
+            metrics.counter(f"rm_{name}_total").inc(value)
+        for name, value in self.power_aggregator.observability_counters().items():
+            metrics.counter(f"power_{name}_total").inc(value)
+        for name, value in self.scheduler.observability_counters().items():
+            metrics.counter(f"sched_{name}_total").inc(value)
+        metrics.counter(
+            "stats_column_growths_total", "columnar store reallocations"
+        ).inc(stats.column_growths)
+        if self._events is not None:
+            metrics.counter(
+                "events_emitted_total", "structured run events emitted"
+            ).inc(self._events.events_emitted)
 
 
 def run_simulation(
@@ -495,6 +680,7 @@ def run_simulation(
     spec: WorkloadSpec | None = None,
     horizon: str | float | None = None,
     dense_ticks: bool = False,
+    obs: Observability | None = None,
 ) -> SimulationResult:
     """Run one end-to-end simulation and return its result.
 
@@ -524,6 +710,10 @@ def run_simulation(
     dense_ticks:
         Force one statistics sample per grid tick instead of event-driven
         coalescing. Summary metrics are identical either way.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle (tracer,
+        metrics, event log, progress reporter); ``None`` (the default)
+        runs fully uninstrumented.
     """
     config = system if isinstance(system, SystemConfig) else get_system_config(system)
     if workload is None:
@@ -554,5 +744,6 @@ def run_simulation(
         seed=seed,
         horizon_s=parse_duration(horizon) if horizon is not None else None,
         dense_ticks=dense_ticks,
+        obs=obs,
     )
     return engine.run()

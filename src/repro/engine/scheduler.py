@@ -116,6 +116,15 @@ class Scheduler(abc.ABC):
     def reset(self) -> None:
         """Clear per-run state. The default implementation is a no-op."""
 
+    def observability_counters(self) -> dict[str, int]:
+        """Plain-int instrumentation counters for the metrics registry.
+
+        Keys become ``sched_<key>_total`` counters when the engine
+        publishes metrics at run finalisation; the default policy exposes
+        none. Counters are per run (cleared by :meth:`reset`).
+        """
+        return {}
+
     def next_event_hint(self, queue: Sequence[Job], now: float) -> float | None:
         """Earliest future time this policy might start a job spontaneously.
 
@@ -178,11 +187,22 @@ class ReplayScheduler(Scheduler):
         self._order_memo: (
             tuple[tuple[int, int], frozenset[int], list[Job]] | None
         ) = None
+        #: Observability counters (published as ``sched_*_total`` metrics).
+        self.order_memo_hits = 0
+        self.hint_stash_hits = 0
 
     def reset(self) -> None:
         self._delayed.clear()
         self._hint_stash = None
         self._order_memo = None
+        self.order_memo_hits = 0
+        self.hint_stash_hits = 0
+
+    def observability_counters(self) -> dict[str, int]:
+        return {
+            "replay_order_memo_hits": self.order_memo_hits,
+            "replay_hint_stash_hits": self.hint_stash_hits,
+        }
 
     def _ordered_queue(
         self, queue: Sequence[Job], resource_manager: ResourceManager
@@ -196,6 +216,7 @@ class ReplayScheduler(Scheduler):
             and memo[0] == key
             and all(job.job_id in memo[1] for job in queue)
         ):
+            self.order_memo_hits += 1
             return memo[2]
         ordered = sorted(queue, key=lambda j: (j.start_time, j.job_id))
         self._order_memo = (
@@ -328,6 +349,7 @@ class ReplayScheduler(Scheduler):
                 # Every due job was either started (left the queue) or
                 # recorded in _delayed by the schedule() call that filled
                 # the stash, so the veto case cannot arise here.
+                self.hint_stash_hits += 1
                 return future_min
         hint: float | None = None
         for job in queue:
@@ -399,15 +421,30 @@ class BackfillScheduler(Scheduler):
         #: but never false→true as ``now`` advances, so a declined queue
         #: stays declined until the next allocation, release or submission.
         self._noop_key: tuple[int, tuple[int, ...]] | None = None
+        #: Observability counters (published as ``sched_*_total`` metrics).
+        self.reservations_computed = 0
+        self.reservations_indexed = 0
+        self.noop_memo_hits = 0
 
     def reset(self) -> None:
         self._noop_key = None
+        self.reservations_computed = 0
+        self.reservations_indexed = 0
+        self.noop_memo_hits = 0
+
+    def observability_counters(self) -> dict[str, int]:
+        return {
+            "backfill_reservations": self.reservations_computed,
+            "backfill_reservations_indexed": self.reservations_indexed,
+            "backfill_noop_memo_hits": self.noop_memo_hits,
+        }
 
     def schedule(
         self, queue: Sequence[Job], resource_manager: ResourceManager, now: float
     ) -> list[SchedulingDecision]:
         key = (resource_manager.epoch, tuple(job.job_id for job in queue))
         if key == self._noop_key:
+            self.noop_memo_hits += 1
             return []
         decisions = self._schedule(queue, resource_manager, now)
         self._noop_key = None if decisions else key
@@ -506,6 +543,7 @@ class BackfillScheduler(Scheduler):
         (and the ``vectorized=False`` baseline) take the historical scan,
         which computes identical reservations.
         """
+        self.reservations_computed += 1
         free_now = free_counts.free_in(head_key)
         whole_pool = head_key is None
         if not whole_pool:
@@ -515,6 +553,7 @@ class BackfillScheduler(Scheduler):
                 and node_range.stop == resource_manager.total_nodes
             )
         if self.vectorized and whole_pool:
+            self.reservations_indexed += 1
             started_entries = sorted(
                 (end, job.nodes_required, job.job_id) for end, job, _ in started
             )

@@ -163,6 +163,9 @@ class StatsCollector:
         self._max_wait_s = 0.0
         self._first_sim_start: float | None = None
         self._last_sim_end: float | None = None
+        #: Observability counter: number of column doublings (published as
+        #: ``stats_column_growths_total``).
+        self.column_growths = 0
 
     # -- recording ------------------------------------------------------------
 
@@ -183,6 +186,7 @@ class StatsCollector:
         )
 
     def _grow(self) -> None:
+        self.column_growths += 1
         capacity = max(_INITIAL_CAPACITY, 2 * self._tick_count)
         for name, column in self._columns.items():
             grown = np.empty(capacity, dtype=column.dtype)

@@ -546,6 +546,13 @@ class RunningSetPowerAggregator:
         self._cpu_weighted = 0.0
         self._gpu_weighted = 0.0
         self._nodes_busy = 0
+        # Observability counters: plain ints on per-event paths, folded
+        # into the engine's metrics registry at run finalisation.
+        self.breakpoint_crossings = 0
+        self.membership_syncs = 0
+        self.journal_resyncs = 0
+        self.states_built = 0
+        self.batched_builds = 0
 
     def sample(
         self,
@@ -594,6 +601,19 @@ class RunningSetPowerAggregator:
             return change_time
         return None
 
+    def observability_counters(self) -> dict[str, int]:
+        """Plain-int instrumentation counters (engine metrics publication).
+
+        Keys become ``power_<key>_total`` counters in the metrics registry.
+        """
+        return {
+            "breakpoint_crossings": self.breakpoint_crossings,
+            "membership_syncs": self.membership_syncs,
+            "journal_resyncs": self.journal_resyncs,
+            "states_built": self.states_built,
+            "batched_builds": self.batched_builds,
+        }
+
     # -- internals -----------------------------------------------------------
 
     def _refresh(self, now: float) -> None:
@@ -619,10 +639,13 @@ class RunningSetPowerAggregator:
         so they only differ in float add/subtract association order (well
         below the engine's 1e-9 equivalence gates).
         """
+        self.membership_syncs += 1
         running = self._rm.running_by_id
         self._journal_cursor, entries = self._rm.drain_change_journal(
             self._journal_cursor
         )
+        if entries is None:
+            self.journal_resyncs += 1
         if entries is None or not self._batch_states:
             ended_ids = sorted(self._states.keys() - running.keys())
             started_jobs = [
@@ -655,7 +678,9 @@ class RunningSetPowerAggregator:
             self._nodes_busy -= state.job.nodes_required
             # Heap entries of ended jobs are discarded lazily.
         if started_jobs:
+            self.states_built += len(started_jobs)
             if self._batch_states and len(started_jobs) > 1:
+                self.batched_builds += 1
                 states = build_power_states(
                     [
                         (job, self._model.node_model(job.partition))
@@ -698,6 +723,7 @@ class RunningSetPowerAggregator:
             old_cpu = state.current_cpu_weighted
             old_gpu = state.current_gpu_weighted
             state.advance_to(now)
+            self.breakpoint_crossings += 1
             # Delta-update only the quantities that actually changed, so a
             # breakpoint in one profile does not churn the totals of the
             # others through float add/subtract round-trips.
