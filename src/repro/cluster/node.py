@@ -32,7 +32,7 @@ class Node:
         Current allocation state.
     job_id:
         Id of the occupying job while ``ALLOCATED``.
-    allocation_count / busy_seconds:
+    allocation_count / busy_s:
         Lifetime accounting used by the statistics module.
     """
 
@@ -40,7 +40,7 @@ class Node:
     state: NodeState = NodeState.IDLE
     job_id: int | None = None
     allocation_count: int = 0
-    busy_seconds: float = 0.0
+    busy_s: float = 0.0
     _allocated_at: float | None = field(default=None, repr=False)
 
     @property
@@ -67,7 +67,7 @@ class Node:
         if self.state is not NodeState.ALLOCATED:
             raise AllocationError(f"node {self.node_id} is not allocated")
         if self._allocated_at is not None:
-            self.busy_seconds += max(0.0, now - self._allocated_at)
+            self.busy_s += max(0.0, now - self._allocated_at)
         self.state = NodeState.IDLE
         self.job_id = None
         self._allocated_at = None

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..config import SystemConfig
 from ..exceptions import AllocationError
+from ..devtools import hot_path
 from ..telemetry.job import Job, JobState
 from .node import Node, NodeState
 
@@ -301,6 +302,7 @@ class ResourceManager:
         if job.state is JobState.RUNNING:
             job.mark_completed(now)
 
+    @hot_path
     def complete_finished_jobs(self, now: float) -> list[Job]:
         """Release every running job whose simulated end time has arrived.
 
@@ -323,7 +325,9 @@ class ResourceManager:
         same jobs in the same (job-id) order at the same end times.
         """
         if self.scan_completions:
-            finished = [
+            # The O(R) scan is the opt-in differential baseline, not the
+            # default path.
+            finished = [  # repro-lint: disable=hot-path
                 job
                 for job in self._running.values()
                 if job.sim_start_time is not None
@@ -353,6 +357,7 @@ class ResourceManager:
             job.mark_completed(end_time)
         return finished
 
+    @hot_path
     def next_job_end(self) -> float | None:
         """Earliest indexed end time over the running set, or ``None``.
 
@@ -364,6 +369,7 @@ class ResourceManager:
         entry = self._peek_live_end()
         return entry[0] if entry is not None else None
 
+    @hot_path
     def _peek_live_end(self) -> tuple[float, int] | None:
         """Top live ``(end time, job id)`` heap entry, or ``None``.
 

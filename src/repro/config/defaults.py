@@ -66,72 +66,72 @@ def available_systems() -> tuple[str, ...]:
 
 #: Frontier node: 1x AMD Trento CPU + 4x MI250X GPUs (8 GCDs), liquid cooled.
 FRONTIER_NODE = NodePowerConfig(
-    idle_watts=220.0,
-    cpu_idle_watts=90.0,
-    cpu_max_watts=280.0,
-    gpu_idle_watts=90.0,
-    gpu_max_watts=560.0,
-    mem_dynamic_watts=80.0,
+    idle_w=220.0,
+    cpu_idle_w=90.0,
+    cpu_max_w=280.0,
+    gpu_idle_w=90.0,
+    gpu_max_w=560.0,
+    mem_dynamic_w=80.0,
     cpus_per_node=1,
     gpus_per_node=4,
 )
 
 #: Marconi100 node: 2x POWER9 + 4x V100.
 MARCONI100_NODE = NodePowerConfig(
-    idle_watts=240.0,
-    cpu_idle_watts=60.0,
-    cpu_max_watts=190.0,
-    gpu_idle_watts=40.0,
-    gpu_max_watts=300.0,
-    mem_dynamic_watts=60.0,
+    idle_w=240.0,
+    cpu_idle_w=60.0,
+    cpu_max_w=190.0,
+    gpu_idle_w=40.0,
+    gpu_max_w=300.0,
+    mem_dynamic_w=60.0,
     cpus_per_node=2,
     gpus_per_node=4,
 )
 
 #: Fugaku node: single A64FX socket, no discrete GPU.
 FUGAKU_NODE = NodePowerConfig(
-    idle_watts=60.0,
-    cpu_idle_watts=40.0,
-    cpu_max_watts=170.0,
-    gpu_idle_watts=0.0,
-    gpu_max_watts=0.0,
-    mem_dynamic_watts=30.0,
+    idle_w=60.0,
+    cpu_idle_w=40.0,
+    cpu_max_w=170.0,
+    gpu_idle_w=0.0,
+    gpu_max_w=0.0,
+    mem_dynamic_w=30.0,
     cpus_per_node=1,
     gpus_per_node=0,
 )
 
 #: Lassen node: 2x POWER9 + 4x V100 (similar to Marconi100/Sierra class).
 LASSEN_NODE = NodePowerConfig(
-    idle_watts=250.0,
-    cpu_idle_watts=60.0,
-    cpu_max_watts=190.0,
-    gpu_idle_watts=40.0,
-    gpu_max_watts=300.0,
-    mem_dynamic_watts=60.0,
+    idle_w=250.0,
+    cpu_idle_w=60.0,
+    cpu_max_w=190.0,
+    gpu_idle_w=40.0,
+    gpu_max_w=300.0,
+    mem_dynamic_w=60.0,
     cpus_per_node=2,
     gpus_per_node=4,
 )
 
 #: Adastra MI250X partition node: 1x Trento CPU + 4x MI250X.
 ADASTRA_GPU_NODE = NodePowerConfig(
-    idle_watts=220.0,
-    cpu_idle_watts=90.0,
-    cpu_max_watts=280.0,
-    gpu_idle_watts=90.0,
-    gpu_max_watts=560.0,
-    mem_dynamic_watts=80.0,
+    idle_w=220.0,
+    cpu_idle_w=90.0,
+    cpu_max_w=280.0,
+    gpu_idle_w=90.0,
+    gpu_max_w=560.0,
+    mem_dynamic_w=80.0,
     cpus_per_node=1,
     gpus_per_node=4,
 )
 
 #: Small CPU-only node used by the ``tiny`` test system.
 TINY_NODE = NodePowerConfig(
-    idle_watts=100.0,
-    cpu_idle_watts=50.0,
-    cpu_max_watts=200.0,
-    gpu_idle_watts=25.0,
-    gpu_max_watts=300.0,
-    mem_dynamic_watts=40.0,
+    idle_w=100.0,
+    cpu_idle_w=50.0,
+    cpu_max_w=200.0,
+    gpu_idle_w=25.0,
+    gpu_max_w=300.0,
+    mem_dynamic_w=40.0,
     cpus_per_node=2,
     gpus_per_node=2,
 )

@@ -26,54 +26,54 @@ class NodePowerConfig:
 
     Attributes
     ----------
-    idle_watts:
+    idle_w:
         Node power at zero utilization (fans, NICs, idle silicon).
-    cpu_idle_watts / cpu_max_watts:
+    cpu_idle_w / cpu_max_w:
         Per-CPU-socket idle and full-load power.
-    gpu_idle_watts / gpu_max_watts:
+    gpu_idle_w / gpu_max_w:
         Per-GPU idle and full-load power.
-    mem_dynamic_watts:
+    mem_dynamic_w:
         Additional node power at 100 % memory-bandwidth utilization.
     cpus_per_node / gpus_per_node:
         Component counts.
     """
 
-    idle_watts: float
-    cpu_idle_watts: float
-    cpu_max_watts: float
-    gpu_idle_watts: float
-    gpu_max_watts: float
-    mem_dynamic_watts: float
+    idle_w: float
+    cpu_idle_w: float
+    cpu_max_w: float
+    gpu_idle_w: float
+    gpu_max_w: float
+    mem_dynamic_w: float
     cpus_per_node: int
     gpus_per_node: int
 
     def __post_init__(self) -> None:
-        if self.idle_watts < 0:
-            raise ConfigurationError("idle_watts must be non-negative")
-        if self.cpu_max_watts < self.cpu_idle_watts:
-            raise ConfigurationError("cpu_max_watts must be >= cpu_idle_watts")
-        if self.gpu_max_watts < self.gpu_idle_watts:
-            raise ConfigurationError("gpu_max_watts must be >= gpu_idle_watts")
+        if self.idle_w < 0:
+            raise ConfigurationError("idle_w must be non-negative")
+        if self.cpu_max_w < self.cpu_idle_w:
+            raise ConfigurationError("cpu_max_w must be >= cpu_idle_w")
+        if self.gpu_max_w < self.gpu_idle_w:
+            raise ConfigurationError("gpu_max_w must be >= gpu_idle_w")
         if self.cpus_per_node < 0 or self.gpus_per_node < 0:
             raise ConfigurationError("component counts must be non-negative")
 
     @property
-    def max_watts(self) -> float:
+    def max_w(self) -> float:
         """Maximum modelled node power (all components at 100 %)."""
         return (
-            self.idle_watts
-            + self.cpus_per_node * self.cpu_max_watts
-            + self.gpus_per_node * self.gpu_max_watts
-            + self.mem_dynamic_watts
+            self.idle_w
+            + self.cpus_per_node * self.cpu_max_w
+            + self.gpus_per_node * self.gpu_max_w
+            + self.mem_dynamic_w
         )
 
     @property
-    def min_watts(self) -> float:
+    def min_w(self) -> float:
         """Idle modelled node power (all components at 0 %)."""
         return (
-            self.idle_watts
-            + self.cpus_per_node * self.cpu_idle_watts
-            + self.gpus_per_node * self.gpu_idle_watts
+            self.idle_w
+            + self.cpus_per_node * self.cpu_idle_w
+            + self.gpus_per_node * self.gpu_idle_w
         )
 
 
@@ -138,7 +138,12 @@ class CoolingConfig:
         # the then-nonexistent liquid loop.
         if self.cdu_count < 0:
             raise ConfigurationError("cdu_count must be non-negative")
-        if self.cdu_count == 0 and self.air_cooled_fraction != 1.0:
+        # Exact comparison on purpose: 1.0 is a user-entered sentinel
+        # ("everything air-cooled"), not a computed quantity.
+        if (
+            self.cdu_count == 0
+            and self.air_cooled_fraction != 1.0  # repro-lint: disable=float-compare
+        ):
             raise ConfigurationError(
                 "cdu_count == 0 (no liquid loop) requires air_cooled_fraction == 1.0"
             )
@@ -262,13 +267,13 @@ class SystemConfig:
     @property
     def peak_system_power_kw(self) -> float:
         """Upper bound on modelled IT power in kilowatts."""
-        watts = sum(p.node_count * p.node_power.max_watts for p in self.partitions)
+        watts = sum(p.node_count * p.node_power.max_w for p in self.partitions)
         return watts / 1000.0
 
     @property
     def idle_system_power_kw(self) -> float:
         """Idle modelled IT power in kilowatts."""
-        watts = sum(p.node_count * p.node_power.min_watts for p in self.partitions)
+        watts = sum(p.node_count * p.node_power.min_w for p in self.partitions)
         return watts / 1000.0
 
     def with_overrides(self, **kwargs: object) -> "SystemConfig":

@@ -59,7 +59,8 @@ class CoolingTower:
 
     def approach_c(self, heat_load_kw: float) -> float:
         """Load-dependent approach above ambient wet bulb (K)."""
-        return self.config.tower_approach_c + self.config.tower_range_coefficient * heat_load_kw * 1000.0
+        config = self.config
+        return config.tower_approach_c + config.tower_range_coefficient * heat_load_kw * 1000.0
 
     def step(self, heat_load_kw: float, dt_s: float) -> CoolingTowerState:
         """Advance the facility loop by ``dt_s`` seconds under ``heat_load_kw``."""

@@ -94,7 +94,7 @@ class CoolingPlant:
         air_heat_kw = total_heat_kw * self.config.air_cooled_fraction
 
         # Secondary loops: split the liquid-cooled heat evenly across CDUs.
-        cdu_returns = []
+        cdu_returns: list[float] = []
         heat_to_facility_kw = 0.0
         if self.cdus:
             per_cdu_heat = liquid_heat_kw / len(self.cdus)

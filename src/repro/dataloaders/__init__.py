@@ -5,22 +5,20 @@ data and generate the list of to-be-scheduled jobs, identifying for each job
 its submit, start and end time plus the telemetry start and end time of the
 dataset, so the engine can replay or reschedule within the recorded window.
 
-Since the original datasets cannot be downloaded in this offline environment,
-every dataloader here *synthesises* a workload that matches the documented
-characteristics of its dataset (node count, telemetry granularity, trace vs.
-summary data, utilization regime); the interface and the downstream code
-paths are identical to loading the real data. Loading jobs from SWF files is
-supported through :class:`~repro.dataloaders.swf_loader.SWFDataLoader` for
-users who have real traces at hand.
+Currently the package ships the windowing/prepopulation base class and the
+plugin registry; per-system loaders (Frontier, Fugaku, Marconi100, ...)
+register themselves through :func:`register_dataloader` as they land. Jobs
+from SWF files load through :func:`repro.telemetry.swf.read_swf` and can be
+wrapped in a registered loader by users who have real traces at hand.
 """
 
-from .base import DataLoader, DatasetWindow, available_dataloaders, get_dataloader, register_dataloader
-from .adastra import AdastraDataLoader
-from .frontier import FrontierDataLoader
-from .fugaku import FugakuDataLoader
-from .lassen import LassenDataLoader
-from .marconi100 import Marconi100DataLoader
-from .swf_loader import SWFDataLoader
+from .base import (
+    DataLoader,
+    DatasetWindow,
+    available_dataloaders,
+    get_dataloader,
+    register_dataloader,
+)
 
 __all__ = [
     "DataLoader",
@@ -28,10 +26,4 @@ __all__ = [
     "available_dataloaders",
     "get_dataloader",
     "register_dataloader",
-    "AdastraDataLoader",
-    "FrontierDataLoader",
-    "FugakuDataLoader",
-    "LassenDataLoader",
-    "Marconi100DataLoader",
-    "SWFDataLoader",
 ]

@@ -149,7 +149,9 @@ class DataLoader(abc.ABC):
 _LOADERS: dict[str, Callable[..., DataLoader]] = {}
 
 
-def register_dataloader(name: str, factory: Callable[..., DataLoader], *, overwrite: bool = False) -> None:
+def register_dataloader(
+    name: str, factory: Callable[..., DataLoader], *, overwrite: bool = False
+) -> None:
     """Register a dataloader factory under ``name`` (the ``--system`` value)."""
     key = name.lower()
     if key in _LOADERS and not overwrite:

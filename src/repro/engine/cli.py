@@ -275,9 +275,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         handler.close()
 
     if obs is not None:
-        if args.trace_out:
+        # _build_obs creates the tracer/registry exactly when the matching
+        # output flag is set, so these narrowings never actually skip.
+        if args.trace_out and obs.tracer is not None:
             obs.tracer.to_chrome_trace(args.trace_out)
-        if args.metrics_out:
+        if args.metrics_out and obs.metrics is not None:
             if str(args.metrics_out).endswith(".csv"):
                 obs.metrics.to_csv(args.metrics_out)
             else:

@@ -42,8 +42,10 @@ from time import perf_counter_ns
 from ..cluster import NodeState, ResourceManager
 from ..config import SystemConfig, get_system_config
 from ..cooling import CoolingPlant
+from ..devtools import hot_path
 from ..exceptions import AllocationError, SchedulingError, SimulationError
 from ..obs import Observability
+from ..obs.metrics import Histogram
 from ..power import RunningSetPowerAggregator, SystemPowerModel
 from ..telemetry.job import Job, JobState
 from ..units import parse_duration as _parse_duration_s
@@ -213,7 +215,7 @@ class SimulationEngine:
             if self._metrics is not None
             else None
         )
-        self._phase_hists = None
+        self._phase_hists: dict[str, Histogram] | None = None
         if self._tracer is not None and self._metrics is not None:
             self._phase_hists = {
                 name: self._metrics.histogram(
@@ -489,6 +491,7 @@ class SimulationEngine:
 
     # -- event-driven time advancement -----------------------------------------
 
+    @hot_path
     def _coalesced_dt(self, now: float, timestep: float) -> float:
         """Simulated time the current sample may stand for (a tick multiple).
 
@@ -535,7 +538,9 @@ class SimulationEngine:
             if next_change is not None:
                 events.append(next_change)
         else:
-            for job in self.resource_manager.running_by_id.values():
+            # event_index=False: the historical O(R) per-job scan, kept
+            # as the equivalence-gate baseline.
+            for job in self.resource_manager.running_by_id.values():  # repro-lint: disable=hot-path
                 start = job.sim_start_time if job.sim_start_time is not None else now
                 events.append(start + job.duration)
                 next_change = job.next_power_change_after(now)
@@ -584,6 +589,7 @@ class SimulationEngine:
 
     def _mark(self, name: str, t0_ns: int) -> int:
         """Close one phase span (and feed its wall histogram when kept)."""
+        assert self._tracer is not None  # callers gate every phase on the tracer
         end_ns = self._tracer.add(name, t0_ns)
         hists = self._phase_hists
         if hists is not None:
@@ -598,7 +604,7 @@ class SimulationEngine:
         for horizon-truncated jobs this is the recorded-schedule estimate,
         not the truncated-sim share.
         """
-        return self.power_model.job_energy_joules(job) / 3.6e6
+        return self.power_model.job_energy_j(job) / 3.6e6
 
     def _finalize_obs(self, result: SimulationResult, run_t0_ns: int) -> None:
         """Close the run span, publish metrics, emit the final events."""
@@ -630,6 +636,7 @@ class SimulationEngine:
         cheap integer attributes which are folded in here, once per run.
         """
         metrics = self._metrics
+        assert metrics is not None  # _finalize_obs gates on self._metrics
         stats = self.stats
         steps = len(stats.ticks)
         timestep = float(self.system.timestep_s)

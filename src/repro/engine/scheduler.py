@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..cluster import NodeState, ResourceManager
+from ..devtools import hot_path
 from ..exceptions import SchedulingError
 from ..telemetry.job import Job
 
@@ -125,6 +126,7 @@ class Scheduler(abc.ABC):
         """
         return {}
 
+    @hot_path
     def next_event_hint(self, queue: Sequence[Job], now: float) -> float | None:
         """Earliest future time this policy might start a job spontaneously.
 
@@ -318,6 +320,7 @@ class ReplayScheduler(Scheduler):
             return now
         return job.start_time
 
+    @hot_path
     def next_event_hint(self, queue: Sequence[Job], now: float) -> float | None:
         """The earliest backdated (recorded) start still ahead of ``now``.
 
@@ -344,7 +347,9 @@ class ReplayScheduler(Scheduler):
             if (
                 stash_now == now
                 and len(queue) == len(expected_ids)
-                and all(job.job_id in expected_ids for job in queue)
+                # Id-set membership test, O(queue) by construction: the
+                # stash is only valid for this exact residual queue.
+                and all(job.job_id in expected_ids for job in queue)  # repro-lint: disable=hot-path
             ):
                 # Every due job was either started (left the queue) or
                 # recorded in _delayed by the schedule() call that filled
@@ -352,7 +357,8 @@ class ReplayScheduler(Scheduler):
                 self.hint_stash_hits += 1
                 return future_min
         hint: float | None = None
-        for job in queue:
+        # Stash miss: the O(queue) fallback scan the stash exists to avoid.
+        for job in queue:  # repro-lint: disable=hot-path
             if job.start_time > now:
                 hint = job.start_time if hint is None else min(hint, job.start_time)
             elif job.job_id not in self._delayed:
@@ -382,6 +388,7 @@ class FCFSScheduler(Scheduler):
             decisions.append(SchedulingDecision(job))
         return decisions
 
+    @hot_path
     def next_event_hint(self, queue: Sequence[Job], now: float) -> float | None:
         """FCFS never acts spontaneously.
 
@@ -504,6 +511,7 @@ class BackfillScheduler(Scheduler):
             decisions.append(SchedulingDecision(job))
         return decisions
 
+    @hot_path
     def next_event_hint(self, queue: Sequence[Job], now: float) -> float | None:
         """EASY backfill never acts spontaneously between events.
 

@@ -40,11 +40,12 @@ import json
 import math
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence, overload
 
 import numpy as np
 
 from ..cooling.plant import CoolingPlantState
+from ..devtools import hot_path
 from ..power.system_power import SystemPowerSample
 from ..telemetry.job import Job, JobState
 
@@ -103,7 +104,7 @@ _INT_FIELDS = frozenset({"allocated_nodes", "running_jobs", "queued_jobs"})
 _INITIAL_CAPACITY = 512
 
 
-class _TickSeries(Sequence):
+class _TickSeries(Sequence[TickSample]):
     """Read-only sequence view over the collector's tick columns.
 
     Materialises a :class:`TickSample` per indexed access or iteration step,
@@ -117,7 +118,13 @@ class _TickSeries(Sequence):
     def __len__(self) -> int:
         return self._stats._tick_count
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> TickSample: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> list[TickSample]: ...
+
+    def __getitem__(self, index: int | slice) -> TickSample | list[TickSample]:
         n = self._stats._tick_count
         if isinstance(index, slice):
             return [self._stats._tick_at(i) for i in range(*index.indices(n))]
@@ -157,7 +164,7 @@ class StatsCollector:
         # Incrementally maintained summary metrics (historically recomputed
         # by scanning all ticks/jobs on every property access).
         self._max_pue = 1.0
-        self._node_hours = 0.0
+        self._node_h = 0.0
         self._wait_sum_s = 0.0
         self._wait_count = 0
         self._max_wait_s = 0.0
@@ -193,6 +200,7 @@ class StatsCollector:
             grown[: self._tick_count] = column[: self._tick_count]
             self._columns[name] = grown
 
+    @hot_path
     def record_tick(
         self,
         now: float,
@@ -276,7 +284,7 @@ class StatsCollector:
         self.completed_jobs.append(job)
         duration = job.sim_duration
         if duration is not None:
-            self._node_hours += job.nodes_required * duration / 3600.0
+            self._node_h += job.nodes_required * duration / 3600.0
         wait = job.wait_time
         if wait is not None:
             self._wait_sum_s += wait
@@ -345,9 +353,9 @@ class StatsCollector:
         return self._utilization_weight / self._time_weight_s
 
     @property
-    def node_hours(self) -> float:
+    def node_h(self) -> float:
         """Node-hours delivered to completed jobs (maintained incrementally)."""
-        return self._node_hours
+        return self._node_h
 
     @property
     def mean_wait_s(self) -> float:
@@ -380,7 +388,7 @@ class StatsCollector:
             "mean_pue": self.mean_pue,
             "max_pue": self.max_pue,
             "mean_utilization": self.mean_utilization,
-            "node_hours": self.node_hours,
+            "node_hours": self.node_h,
             "mean_wait_s": self.mean_wait_s,
             "max_wait_s": self.max_wait_s,
             "makespan_s": self.makespan_s,
@@ -398,7 +406,9 @@ class StatsCollector:
         :class:`TickSample` per row through the :attr:`ticks` view.
         """
         if name not in self._columns:
-            raise KeyError(f"unknown tick column {name!r}")
+            # Mapping semantics: callers key on column names like a dict,
+            # so KeyError is the contract here, not SRapsError.
+            raise KeyError(f"unknown tick column {name!r}")  # repro-lint: disable=public-exceptions
         view = self._columns[name][: self._tick_count]
         # Read-only: the slice aliases the live buffer, and a caller
         # mutating it would silently corrupt the recorded history (same
@@ -448,7 +458,7 @@ class StatsCollector:
         )
 
 
-def _json_scalar(value):
+def _json_scalar(value: object) -> object:
     """One leaf of :func:`json_safe`: numpy-aware, non-finite floats → None."""
     if isinstance(value, float):
         return value if math.isfinite(value) else None
@@ -471,7 +481,7 @@ def _json_scalar(value):
     return value
 
 
-def json_safe(value):
+def json_safe(value: object) -> object:
     """Make ``value`` strict-JSON-serialisable, iteratively and array-aware.
 
     Non-finite floats become ``None``: RFC 8259 has no ``Infinity``/``NaN``
@@ -487,14 +497,14 @@ def json_safe(value):
     _containers = (dict, list, tuple)
     if not isinstance(value, _containers):
         return _json_scalar(value)
-    root: list = [None]
-    stack: list[tuple[dict | list | tuple, dict | list, int | str]] = [
-        (value, root, 0)
-    ]
+    root: list[object] = [None]
+    # The walk is structurally dynamic (targets are whichever container the
+    # source maps to), so the stack is typed loosely on purpose.
+    stack: list[tuple[Any, Any, Any]] = [(value, root, 0)]
     while stack:
         source, target, key = stack.pop()
         if isinstance(source, dict):
-            converted: dict | list = {}
+            converted: dict[Any, Any] | list[Any] = {}
             target[key] = converted
             for item_key, item in source.items():
                 if isinstance(item, _containers):

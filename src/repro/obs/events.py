@@ -32,7 +32,7 @@ __all__ = ["EventLog", "JsonLinesFormatter", "RUN_LOGGER_NAME"]
 RUN_LOGGER_NAME = "repro.run"
 
 
-def _json_value(value):
+def _json_value(value: object) -> object:
     """One field value made strict-JSON safe (non-finite floats → None)."""
     if isinstance(value, float):
         return value if math.isfinite(value) else None
@@ -128,18 +128,18 @@ class EventLog:
     def __enter__(self) -> "EventLog":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- emission --------------------------------------------------------------
 
-    def emit(self, event: str, **fields) -> None:
+    def emit(self, event: str, **fields: object) -> None:
         """Emit one structured event (INFO level, skipped when disabled)."""
         if self._logger.isEnabledFor(logging.INFO):
             self.events_emitted += 1
             self._logger.info(event, extra={"fields": fields})
 
-    def milestone(self, name: str, t_s: float, **fields) -> None:
+    def milestone(self, name: str, t_s: float, **fields: object) -> None:
         """Engine milestone (``run_started``, ``horizon_reached``, ...)."""
         self.emit(name, t_s=t_s, **fields)
 

@@ -25,6 +25,9 @@ import json
 import math
 from bisect import bisect_left
 from pathlib import Path
+from typing import Any, TypeVar
+
+from ..exceptions import ConfigurationError
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
@@ -41,7 +44,9 @@ class Counter:
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
-            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
         self.value += amount
 
 
@@ -87,7 +92,9 @@ class Histogram:
         self.help = help
         self.bounds = tuple(bounds) if bounds is not None else _DEFAULT_BOUNDS
         if any(b2 <= b1 for b1, b2 in zip(self.bounds, self.bounds[1:])):
-            raise ValueError(f"histogram {name!r} bounds must increase strictly")
+            raise ConfigurationError(
+                f"histogram {name!r} bounds must increase strictly"
+            )
         # One overflow bucket past the last bound (the "+Inf" bucket).
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
@@ -111,7 +118,7 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Bucket-resolution quantile estimate (upper bound of the bucket)."""
         if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
         rank = q * self.count
@@ -136,23 +143,28 @@ class Histogram:
         }
 
 
+_MetricT = TypeVar("_MetricT", Counter, Gauge, Histogram)
+
+
 class MetricsRegistry:
     """Named instruments with get-or-create semantics and dict snapshots."""
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
-    def _get_or_create(self, kind, name: str, help: str, **kwargs):
+    def _get_or_create(
+        self, kind: type[_MetricT], name: str, help: str, **kwargs: Any
+    ) -> _MetricT:
         metric = self._metrics.get(name)
         if metric is None:
             metric = kind(name, help, **kwargs)
             self._metrics[name] = metric
         elif type(metric) is not kind:
-            raise ValueError(
+            raise ConfigurationError(
                 f"metric {name!r} already registered as {type(metric).__name__}, "
                 f"not {kind.__name__}"
             )
-        return metric
+        return metric  # type: ignore[return-value]
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)
@@ -173,7 +185,7 @@ class MetricsRegistry:
 
     # -- export ----------------------------------------------------------------
 
-    def snapshot(self) -> dict[str, dict]:
+    def snapshot(self) -> dict[str, dict[str, Any]]:
         """All instruments as one nested, JSON-friendly dict.
 
         Non-finite sentinels (an untouched gauge's ``-inf`` peak) are
@@ -183,9 +195,9 @@ class MetricsRegistry:
         def finite(value: float) -> float | None:
             return value if math.isfinite(value) else None
 
-        counters = {}
-        gauges = {}
-        histograms = {}
+        counters: dict[str, float] = {}
+        gauges: dict[str, dict[str, float | None]] = {}
+        histograms: dict[str, dict[str, float | None]] = {}
         for name in sorted(self._metrics):
             metric = self._metrics[name]
             if isinstance(metric, Counter):

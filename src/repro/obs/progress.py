@@ -26,6 +26,8 @@ import time
 from dataclasses import dataclass
 from typing import IO, TYPE_CHECKING, Callable
 
+from ..exceptions import ConfigurationError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.engine import SimulationEngine
 
@@ -94,7 +96,7 @@ class ProgressReporter:
         stream: IO[str] | None = None,
     ) -> None:
         if interval_s < 0:
-            raise ValueError(f"interval_s must be >= 0, got {interval_s}")
+            raise ConfigurationError(f"interval_s must be >= 0, got {interval_s}")
         self.interval_s = interval_s
         self.callback = callback
         self.stream = stream

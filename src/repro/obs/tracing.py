@@ -142,10 +142,10 @@ class SpanTracer:
             report[name] = row
         return report
 
-    def trace_events(self) -> list[dict]:
+    def trace_events(self) -> list[dict[str, object]]:
         """The retained spans as Chrome trace-event dicts (microseconds)."""
         epoch = self._epoch_ns
-        events: list[dict] = [
+        events: list[dict[str, object]] = [
             {
                 "name": "process_name",
                 "ph": "M",

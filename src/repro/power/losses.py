@@ -17,6 +17,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import PowerLossConfig
+from ..exceptions import ConfigurationError
+from ..units import is_zero_kw
 
 
 @dataclass(frozen=True)
@@ -40,8 +42,14 @@ class LossBreakdown:
 
     @property
     def efficiency(self) -> float:
-        """End-to-end electrical efficiency (compute / facility)."""
-        if self.facility_power_kw == 0.0:
+        """End-to-end electrical efficiency (compute / facility).
+
+        A plant drawing (numerically) no facility power is defined as
+        lossless; :func:`repro.units.is_zero_kw` guards the division
+        instead of an exact ``== 0.0``, so the branch cannot flip when a
+        summation reordering perturbs the last ULP.
+        """
+        if is_zero_kw(self.facility_power_kw):
             return 1.0
         return self.compute_power_kw / self.facility_power_kw
 
@@ -51,7 +59,7 @@ class ConversionLossModel:
 
     def __init__(self, config: PowerLossConfig, *, peak_compute_power_kw: float) -> None:
         if peak_compute_power_kw <= 0:
-            raise ValueError("peak_compute_power_kw must be positive")
+            raise ConfigurationError("peak_compute_power_kw must be positive")
         self.config = config
         self.peak_compute_power_kw = peak_compute_power_kw
 

@@ -24,8 +24,8 @@ class NodePowerModel:
         # identical to inlining them (same IEEE operation, computed once),
         # so evaluation stays bit-for-bit compatible while the hot path
         # sheds two subtractions and four attribute lookups per call.
-        self._cpu_dynamic_watts = config.cpu_max_watts - config.cpu_idle_watts
-        self._gpu_dynamic_watts = config.gpu_max_watts - config.gpu_idle_watts
+        self._cpu_dynamic_w = config.cpu_max_w - config.cpu_idle_w
+        self._gpu_dynamic_w = config.gpu_max_w - config.gpu_idle_w
 
     def power(
         self,
@@ -46,10 +46,10 @@ class NodePowerModel:
         gpu = np.clip(gpu_util, 0.0, 1.0)
         mem = np.clip(mem_util, 0.0, 1.0)
         power = (
-            cfg.idle_watts
-            + cfg.cpus_per_node * (cfg.cpu_idle_watts + cpu * self._cpu_dynamic_watts)
-            + cfg.gpus_per_node * (cfg.gpu_idle_watts + gpu * self._gpu_dynamic_watts)
-            + mem * cfg.mem_dynamic_watts
+            cfg.idle_w
+            + cfg.cpus_per_node * (cfg.cpu_idle_w + cpu * self._cpu_dynamic_w)
+            + cfg.gpus_per_node * (cfg.gpu_idle_w + gpu * self._gpu_dynamic_w)
+            + mem * cfg.mem_dynamic_w
         )
         if np.isscalar(cpu_util) and np.isscalar(gpu_util) and np.isscalar(mem_util):
             return float(power)
@@ -58,12 +58,12 @@ class NodePowerModel:
     @property
     def idle_power(self) -> float:
         """Power of an idle node (watts)."""
-        return self.config.min_watts
+        return self.config.min_w
 
     @property
     def max_power(self) -> float:
         """Power of a fully loaded node (watts)."""
-        return self.config.max_watts
+        return self.config.max_w
 
 
 def system_idle_power_kw(system: SystemConfig, *, include_down: bool = False) -> float:
@@ -76,5 +76,5 @@ def system_idle_power_kw(system: SystemConfig, *, include_down: bool = False) ->
         nodes = partition.node_count
         if not include_down:
             nodes = int(round(nodes * (1.0 - system.down_node_fraction)))
-        total_w += nodes * partition.node_power.min_watts
+        total_w += nodes * partition.node_power.min_w
     return total_w / 1000.0

@@ -18,7 +18,9 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..cluster.resource_manager import ResourceManager
 from ..config import SystemConfig
+from ..devtools import hot_path
 from ..telemetry.job import Job
 from .losses import ConversionLossModel, LossBreakdown
 from .node_power import NodePowerModel
@@ -72,7 +74,7 @@ class SystemPowerModel:
         """The node power model of ``partition`` (default partition fallback)."""
         return self._node_models.get(partition) or self._node_models[self._default_partition]
 
-    def job_power_watts(self, job: Job, now: float) -> float:
+    def job_power_w(self, job: Job, now: float) -> float:
         """Total power of one running job (watts across all its nodes)."""
         recorded = job.recorded_power_at(now)
         if recorded is not None:
@@ -81,7 +83,7 @@ class SystemPowerModel:
         model = self.node_model(job.partition)
         return float(model.power(cpu, gpu, mem)) * job.nodes_required
 
-    def job_energy_joules(self, job: Job) -> float:
+    def job_energy_j(self, job: Job) -> float:
         """Energy of a job over its recorded duration (joules).
 
         Integrates the recorded power trace when present, otherwise the
@@ -128,7 +130,7 @@ class SystemPowerModel:
         gpu_weighted = 0.0
         nodes_busy = 0
         for job in running_jobs:
-            job_power_w += self.job_power_watts(job, now)
+            job_power_w += self.job_power_w(job, now)
             cpu, gpu, _ = job.utilization_at(now)
             cpu_weighted += cpu * job.nodes_required
             gpu_weighted += gpu * job.nodes_required
@@ -177,7 +179,7 @@ class SystemPowerModel:
             busy_remaining -= busy_here
             idle_here = min(remaining_idle, partition.node_count - busy_here)
             remaining_idle -= idle_here
-            idle_power_w += idle_here * partition.node_power.min_watts
+            idle_power_w += idle_here * partition.node_power.min_w
 
         compute_kw = (job_power_w + idle_power_w) / 1000.0
         losses: LossBreakdown = self.loss_model.evaluate(compute_kw)
@@ -295,8 +297,8 @@ def _union_grid(job: Job) -> np.ndarray:
 
 #: Segment roles of a job's ``power_profiles()`` tuple: with a recorded
 #: power trace the tuple is (node_power, cpu, gpu), otherwise (cpu, gpu, mem).
-_ROLE_WATTS, _ROLE_CPU, _ROLE_GPU, _ROLE_MEM = 0, 1, 2, 3
-_ROLES_TRACE = (_ROLE_WATTS, _ROLE_CPU, _ROLE_GPU)
+_ROLE_POWER, _ROLE_CPU, _ROLE_GPU, _ROLE_MEM = 0, 1, 2, 3
+_ROLES_TRACE = (_ROLE_POWER, _ROLE_CPU, _ROLE_GPU)
 _ROLES_MODEL = (_ROLE_CPU, _ROLE_GPU, _ROLE_MEM)
 
 
@@ -408,16 +410,16 @@ def build_power_states(
         # Every job uses the same component model (the common case): the
         # role-split arrays already are the model inputs, in job order.
         (model, _indices), = model_groups.values()
-        model_watts = np.asarray(
+        model_w = np.asarray(
             model.power(cpu_values, gpu_values, held_values[point_role == _ROLE_MEM]),
             dtype=float,
         )
-        model_watts *= weights
-        watts = model_watts
+        model_w *= weights
+        watts = model_w
     else:
         watts = np.empty(int(union_counts.sum()))
         mem_values = held_values[point_role == _ROLE_MEM]
-        trace_values = held_values[point_role == _ROLE_WATTS]
+        trace_values = held_values[point_role == _ROLE_POWER]
         # Offsets of each job's slice within the role-split arrays.
         is_trace = np.zeros(count, dtype=bool)
         is_trace[trace_job_indices] = True
@@ -435,10 +437,15 @@ def build_power_states(
                 trace_values[job_slice(trace_offsets, i)]
                 * jobs_models[i][0].nodes_required
             )
-        job_cpu = lambda i: cpu_values[union_offsets[i] : union_offsets[i + 1]]
-        job_gpu = lambda i: gpu_values[union_offsets[i] : union_offsets[i + 1]]
+
+        def job_cpu(i: int) -> np.ndarray:
+            return cpu_values[union_offsets[i] : union_offsets[i + 1]]
+
+        def job_gpu(i: int) -> np.ndarray:
+            return gpu_values[union_offsets[i] : union_offsets[i + 1]]
+
         for model, indices in model_groups.values():
-            group_watts = np.asarray(
+            group_w = np.asarray(
                 model.power(
                     np.concatenate([job_cpu(i) for i in indices]),
                     np.concatenate([job_gpu(i) for i in indices]),
@@ -448,11 +455,11 @@ def build_power_states(
                 ),
                 dtype=float,
             )
-            group_watts *= np.repeat(node_counts[indices], union_counts[indices])
+            group_w *= np.repeat(node_counts[indices], union_counts[indices])
             position = 0
             for i in indices:
                 width = int(union_counts[i])
-                watts[union_offsets[i] : union_offsets[i] + width] = group_watts[
+                watts[union_offsets[i] : union_offsets[i] + width] = group_w[
                     position : position + width
                 ]
                 position += width
@@ -531,7 +538,7 @@ class RunningSetPowerAggregator:
     def __init__(
         self,
         model: SystemPowerModel,
-        resource_manager,
+        resource_manager: ResourceManager,
         *,
         batch_states: bool = True,
     ) -> None:
@@ -554,6 +561,7 @@ class RunningSetPowerAggregator:
         self.states_built = 0
         self.batched_builds = 0
 
+    @hot_path
     def sample(
         self,
         now: float,
@@ -575,6 +583,7 @@ class RunningSetPowerAggregator:
             down_nodes=down_nodes,
         )
 
+    @hot_path
     def next_breakpoint_after(self, now: float) -> float | None:
         """Earliest upcoming profile change time on the running set, or ``None``.
 
@@ -616,6 +625,7 @@ class RunningSetPowerAggregator:
 
     # -- internals -----------------------------------------------------------
 
+    @hot_path
     def _refresh(self, now: float) -> None:
         """Bring the cached state up to ``now`` (idempotent within a step):
         sync membership against the resource manager's epoch, then apply
@@ -711,6 +721,7 @@ class RunningSetPowerAggregator:
             self._cpu_weighted = 0.0
             self._gpu_weighted = 0.0
 
+    @hot_path
     def _apply_due_changes(self, now: float) -> None:
         """Refresh every cached contribution whose profile crossed a breakpoint."""
         changes = self._changes
@@ -727,7 +738,11 @@ class RunningSetPowerAggregator:
             # Delta-update only the quantities that actually changed, so a
             # breakpoint in one profile does not churn the totals of the
             # others through float add/subtract round-trips.
-            if state.current_power_w != old_power:
+            # Exact identity on purpose: "did advance_to change this
+            # cached value at all" — a tolerance would skip genuine
+            # sub-epsilon profile steps and desynchronise the running
+            # totals from the per-state truth.
+            if state.current_power_w != old_power:  # repro-lint: disable=float-compare
                 self._job_power_w += state.current_power_w - old_power
             if state.current_cpu_weighted != old_cpu:
                 self._cpu_weighted += state.current_cpu_weighted - old_cpu

@@ -156,7 +156,7 @@ class Job:
         return self.duration
 
     @property
-    def node_seconds(self) -> float:
+    def node_s(self) -> float:
         """Recorded node-seconds (nodes x runtime)."""
         return self.nodes_required * self.duration
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..exceptions import DataLoaderError
 from .job import Job
@@ -110,7 +110,11 @@ def parse_swf(
             wall_time_limit=wall_limit,
             name=f"swf-{int(values['job_number'])}",
             user=f"user{int(values['user_id'])}" if values["user_id"] != _MISSING else "unknown",
-            account=f"group{int(values['group_id'])}" if values["group_id"] != _MISSING else "unknown",
+            account=(
+                f"group{int(values['group_id'])}"
+                if values["group_id"] != _MISSING
+                else "unknown"
+            ),
             priority=float(values["queue_number"]) if values["queue_number"] != _MISSING else 0.0,
             cpu_util=constant_profile(default_cpu_util, run),
             metadata={"swf": values},
@@ -128,7 +132,8 @@ def jobs_to_swf(jobs: Sequence[Job], *, processors_per_node: int = 1) -> str:
     """Serialise jobs to SWF text (using recorded, not simulated, times)."""
     buffer = io.StringIO()
     buffer.write("; SWF export from the S-RAPS reproduction\n")
-    buffer.write(f"; MaxProcs: {max((j.nodes_required for j in jobs), default=0) * processors_per_node}\n")
+    max_procs = max((j.nodes_required for j in jobs), default=0) * processors_per_node
+    buffer.write(f"; MaxProcs: {max_procs}\n")
     for index, job in enumerate(sorted(jobs, key=lambda j: j.submit_time), start=1):
         wait = max(0.0, job.start_time - job.submit_time)
         fields = [

@@ -152,6 +152,7 @@ class Profile:
         value is already in effect before it (hold-back rule).
         """
         self._ensure_change_index()
+        assert self._change_times is not None  # _ensure_change_index postcondition
         return self._change_times
 
     def change_grid(self) -> tuple[np.ndarray, np.ndarray]:
@@ -163,6 +164,7 @@ class Profile:
         the raw sample arrays; consumers index it with ``searchsorted``.
         """
         self._ensure_change_index()
+        assert self._grid_times is not None and self._grid_values is not None
         return self._grid_times, self._grid_values
 
     def next_change_after(self, t: float) -> float | None:
@@ -177,6 +179,7 @@ class Profile:
         """
         self._ensure_change_index()
         change_times = self._change_times
+        assert change_times is not None  # _ensure_change_index postcondition
         idx = int(np.searchsorted(change_times, t, side="right"))
         if idx >= change_times.size:
             return None
@@ -185,6 +188,7 @@ class Profile:
     def is_constant(self) -> bool:
         """Whether the profile holds a single value over its whole span."""
         self._ensure_change_index()
+        assert self._change_times is not None  # _ensure_change_index postcondition
         return self._change_times.size == 0
 
     def mean(self) -> float:

@@ -159,3 +159,25 @@ def celsius_to_kelvin(celsius: float) -> float:
 def kelvin_to_celsius(kelvin: float) -> float:
     """Convert a temperature from Kelvin to Celsius."""
     return kelvin - 273.15
+
+
+#: Absolute tolerance (kW) below which a power magnitude counts as zero.
+#:
+#: Chosen far below anything the simulator produces — the smallest non-zero
+#: facility power is a single idle node (tens of watts, i.e. ~1e-2 kW) and
+#: real values are either *exactly* ``0.0`` (nothing computed yet) or many
+#: orders of magnitude above this threshold — so the guard changes no
+#: simulated numbers while absorbing sub-ULP round-off from summation
+#: reorderings.
+ZERO_POWER_ATOL_KW = 1e-12
+
+
+def is_zero_kw(power_kw: float, *, atol_kw: float = ZERO_POWER_ATOL_KW) -> bool:
+    """Whether a kilowatt magnitude is (numerically) zero.
+
+    The sanctioned replacement for exact ``== 0.0`` guards on power and
+    energy quantities, which the ``float-compare`` rule of ``repro-lint``
+    rejects: exact comparison silently turns into a different branch when
+    an optimisation reorders a floating-point reduction.
+    """
+    return abs(power_kw) <= atol_kw

@@ -320,7 +320,9 @@ class SyntheticWorkloadGenerator:
         times = np.unique(times)
 
         n_phases = int(rng.integers(spec.phase_count_range[0], spec.phase_count_range[1] + 1))
-        phase_edges = np.sort(rng.random(n_phases - 1)) * runtime_s if n_phases > 1 else np.array([])
+        phase_edges = (
+            np.sort(rng.random(n_phases - 1)) * runtime_s if n_phases > 1 else np.array([])
+        )
         phase_idx = np.searchsorted(phase_edges, times, side="right")
 
         def phased(mean: float, jitter: float) -> np.ndarray:
@@ -363,11 +365,11 @@ class SyntheticWorkloadGenerator:
         gpu_v = gpu.values_at(times)
         mem_v = mem.values_at(times)
         watts = (
-            node_cfg.idle_watts
+            node_cfg.idle_w
             + node_cfg.cpus_per_node
-            * (node_cfg.cpu_idle_watts + cpu_v * (node_cfg.cpu_max_watts - node_cfg.cpu_idle_watts))
+            * (node_cfg.cpu_idle_w + cpu_v * (node_cfg.cpu_max_w - node_cfg.cpu_idle_w))
             + node_cfg.gpus_per_node
-            * (node_cfg.gpu_idle_watts + gpu_v * (node_cfg.gpu_max_watts - node_cfg.gpu_idle_watts))
-            + mem_v * node_cfg.mem_dynamic_watts
+            * (node_cfg.gpu_idle_w + gpu_v * (node_cfg.gpu_max_w - node_cfg.gpu_idle_w))
+            + mem_v * node_cfg.mem_dynamic_w
         )
         return Profile(times, watts)

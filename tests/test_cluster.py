@@ -27,7 +27,7 @@ class TestNode:
         assert not node.is_available
         node.release(now=400.0)
         assert node.is_available
-        assert node.busy_seconds == pytest.approx(300.0)
+        assert node.busy_s == pytest.approx(300.0)
         assert node.allocation_count == 1
 
     def test_double_allocate_rejected(self):

@@ -19,12 +19,12 @@ from repro.exceptions import ConfigurationError
 
 def _node(**overrides):
     defaults = dict(
-        idle_watts=100.0,
-        cpu_idle_watts=50.0,
-        cpu_max_watts=200.0,
-        gpu_idle_watts=20.0,
-        gpu_max_watts=300.0,
-        mem_dynamic_watts=40.0,
+        idle_w=100.0,
+        cpu_idle_w=50.0,
+        cpu_max_w=200.0,
+        gpu_idle_w=20.0,
+        gpu_max_w=300.0,
+        mem_dynamic_w=40.0,
         cpus_per_node=2,
         gpus_per_node=4,
     )
@@ -33,19 +33,19 @@ def _node(**overrides):
 
 
 class TestNodePowerConfig:
-    def test_max_and_min_watts(self):
+    def test_max_and_min_w(self):
         node = _node()
-        assert node.max_watts == pytest.approx(100 + 2 * 200 + 4 * 300 + 40)
-        assert node.min_watts == pytest.approx(100 + 2 * 50 + 4 * 20)
-        assert node.max_watts > node.min_watts
+        assert node.max_w == pytest.approx(100 + 2 * 200 + 4 * 300 + 40)
+        assert node.min_w == pytest.approx(100 + 2 * 50 + 4 * 20)
+        assert node.max_w > node.min_w
 
     def test_rejects_negative_idle(self):
         with pytest.raises(ConfigurationError):
-            _node(idle_watts=-1.0)
+            _node(idle_w=-1.0)
 
     def test_rejects_cpu_max_below_idle(self):
         with pytest.raises(ConfigurationError):
-            _node(cpu_max_watts=10.0, cpu_idle_watts=50.0)
+            _node(cpu_max_w=10.0, cpu_idle_w=50.0)
 
     def test_rejects_negative_counts(self):
         with pytest.raises(ConfigurationError):

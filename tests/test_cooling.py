@@ -169,7 +169,9 @@ class TestCoolingPlant:
         plant = CoolingPlant(cooling_config)
         for t in range(50):
             baseline = plant.step(t * 60.0, it_power_kw=2000.0, loss_power_kw=50.0, dt_s=60.0)
-        first_after_step = plant.step(51 * 60.0, it_power_kw=15000.0, loss_power_kw=300.0, dt_s=60.0)
+        first_after_step = plant.step(
+            51 * 60.0, it_power_kw=15000.0, loss_power_kw=300.0, dt_s=60.0
+        )
         later = first_after_step
         for t in range(52, 200):
             later = plant.step(t * 60.0, it_power_kw=15000.0, loss_power_kw=300.0, dt_s=60.0)

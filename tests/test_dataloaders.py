@@ -1,0 +1,91 @@
+"""Tests for the dataloader package: import health, registry, windowing.
+
+The package import itself is a regression test: ``__init__`` used to import
+per-system loader modules that did not exist, so ``import repro.dataloaders``
+crashed for every consumer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.dataloaders as dataloaders
+from repro.dataloaders import (
+    DataLoader,
+    DatasetWindow,
+    available_dataloaders,
+    get_dataloader,
+    register_dataloader,
+)
+from repro.exceptions import DataLoaderError
+from repro.telemetry.job import Job, TraceFlag
+
+
+class _ToyLoader(DataLoader):
+    name = "toy"
+
+    def load_all(self) -> tuple[list[Job], DatasetWindow]:
+        window = DatasetWindow(0.0, 1000.0)
+        jobs = [
+            # Ends before any late window: dismissed by select_window.
+            Job(job_id=1, submit_time=0.0, start_time=0.0, end_time=50.0, nodes_required=1),
+            # Spans the window start: prepopulation candidate.
+            Job(job_id=2, submit_time=10.0, start_time=20.0, end_time=500.0, nodes_required=1),
+            # Fully inside.
+            Job(job_id=3, submit_time=200.0, start_time=250.0, end_time=600.0, nodes_required=1),
+            # Runs past the telemetry end.
+            Job(job_id=4, submit_time=300.0, start_time=400.0, end_time=1500.0, nodes_required=1),
+        ]
+        return jobs, window
+
+
+class TestPackageImport:
+    def test_import_exposes_only_existing_symbols(self):
+        # Regression: the package must import (and every __all__ name exist).
+        for name in dataloaders.__all__:
+            assert hasattr(dataloaders, name)
+
+    def test_no_phantom_loader_modules(self):
+        assert not hasattr(dataloaders, "FrontierDataLoader")
+
+
+class TestRegistry:
+    def test_register_get_roundtrip(self):
+        register_dataloader("toy-rt", _ToyLoader, overwrite=True)
+        loader = get_dataloader("toy-rt", seed=3)
+        assert isinstance(loader, _ToyLoader)
+        assert loader.seed == 3
+        assert "toy-rt" in available_dataloaders()
+
+    def test_duplicate_registration_rejected(self):
+        register_dataloader("toy-dup", _ToyLoader, overwrite=True)
+        with pytest.raises(DataLoaderError, match="already registered"):
+            register_dataloader("toy-dup", _ToyLoader)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(DataLoaderError, match="unknown dataloader"):
+            get_dataloader("no-such-system")
+
+    def test_lookup_is_case_insensitive(self):
+        register_dataloader("Toy-Case", _ToyLoader, overwrite=True)
+        assert isinstance(get_dataloader("toy-case"), _ToyLoader)
+
+
+class TestWindowing:
+    def test_window_validation(self):
+        with pytest.raises(DataLoaderError, match="positive length"):
+            DatasetWindow(10.0, 10.0)
+
+    def test_load_classifies_jobs(self):
+        jobs, window = _ToyLoader().load(fast_forward=100.0)
+        ids = [job.job_id for job in jobs]
+        assert ids == [2, 3, 4]  # job 1 dismissed (ended before window)
+        assert window.telemetry_start == pytest.approx(100.0)
+        by_id = {job.job_id: job for job in jobs}
+        assert by_id[2].trace_flags & TraceFlag.PREPOPULATED
+        assert not by_id[3].trace_flags & TraceFlag.PREPOPULATED
+        assert by_id[4].trace_flags & TraceFlag.ENDED_AFTER_CAPTURE
+
+    def test_fast_forward_past_end_rejected(self):
+        with pytest.raises(DataLoaderError, match="skips past the end"):
+            _ToyLoader().load(fast_forward=2000.0)

@@ -7,7 +7,7 @@ import pytest
 from repro import run_simulation
 from repro.config import get_system_config
 from repro.engine import FCFSScheduler, SimulationEngine, parse_duration
-from repro.exceptions import SchedulingError, SimulationError, SRapsError
+from repro.exceptions import SchedulingError, SRapsError
 from repro.telemetry import JobState, Profile
 from repro.workloads import (
     SyntheticWorkloadGenerator,
@@ -193,7 +193,9 @@ class TestEventDrivenEquivalence:
             make_job(nodes=2, submit=20000.0, start=20000.0, duration=900.0),
             make_job(nodes=8, submit=50000.0, start=50000.0, duration=600.0),
         ]
-        sparse = SimulationEngine(tiny_system, [j.copy_for_simulation() for j in jobs], "fcfs").run()
+        sparse = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], "fcfs"
+        ).run()
         dense = SimulationEngine(
             tiny_system, [j.copy_for_simulation() for j in jobs], "fcfs", dense_ticks=True
         ).run()
@@ -207,7 +209,9 @@ class TestEventDrivenEquivalence:
             make_job(nodes=1, submit=0.0, start=30000.0, duration=300.0),
             make_job(nodes=1, submit=0.0, start=60000.0, duration=300.0),
         ]
-        sparse = SimulationEngine(tiny_system, [j.copy_for_simulation() for j in jobs], "replay").run()
+        sparse = SimulationEngine(
+            tiny_system, [j.copy_for_simulation() for j in jobs], "replay"
+        ).run()
         dense = SimulationEngine(
             tiny_system, [j.copy_for_simulation() for j in jobs], "replay", dense_ticks=True
         ).run()

@@ -51,7 +51,7 @@ class TestDerivedProperties:
         assert make_job(duration=600).requested_runtime == 600
 
     def test_node_seconds(self):
-        assert make_job(nodes=4, duration=100).node_seconds == 400
+        assert make_job(nodes=4, duration=100).node_s == 400
 
     def test_wait_and_turnaround_before_start(self):
         job = make_job()

@@ -20,6 +20,7 @@ from pathlib import Path
 import pytest
 
 from repro.engine.engine import SimulationEngine, run_simulation, ENGINE_PHASES
+from repro.exceptions import ConfigurationError
 from repro.obs import (
     EventLog,
     JsonLinesFormatter,
@@ -127,12 +128,12 @@ class TestMetricsRegistry:
         registry = MetricsRegistry()
         counter = registry.counter("x")
         assert registry.counter("x") is counter
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             registry.gauge("x")
         assert "x" in registry and len(registry) == 1
 
     def test_counter_rejects_negative(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             MetricsRegistry().counter("x").inc(-1)
 
     def test_histogram_quantiles(self):

@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import PowerLossConfig, get_system_config
+from repro.exceptions import ConfigurationError
 from repro.power import (
     ConversionLossModel,
     NodePowerModel,
@@ -111,7 +112,7 @@ class TestConversionLossModel:
         assert model.evaluate(-10.0).facility_power_kw == 0.0
 
     def test_invalid_peak_power(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             ConversionLossModel(PowerLossConfig(), peak_compute_power_kw=0.0)
 
     @given(power=st.floats(min_value=0.0, max_value=2000.0))
@@ -137,14 +138,14 @@ class TestSystemPowerModel:
         job = make_job(nodes=4, cpu=1.0, gpu=1.0, mem=1.0)
         job.mark_queued(0.0)
         job.mark_running(0.0, (0, 1, 2, 3))
-        node_max = model.system.partitions[0].node_power.max_watts
-        assert model.job_power_watts(job, 10.0) == pytest.approx(4 * node_max)
+        node_max = model.system.partitions[0].node_power.max_w
+        assert model.job_power_w(job, 10.0) == pytest.approx(4 * node_max)
 
     def test_recorded_power_trace_wins(self, model):
         job = make_job(nodes=2, cpu=0.0, node_power=constant_profile(1234.0, 600))
         job.mark_queued(0.0)
         job.mark_running(0.0, (0, 1))
-        assert model.job_power_watts(job, 5.0) == pytest.approx(2 * 1234.0)
+        assert model.job_power_w(job, 5.0) == pytest.approx(2 * 1234.0)
 
     def test_sample_with_running_jobs(self, model):
         jobs = []
@@ -158,7 +159,7 @@ class TestSystemPowerModel:
         assert sample.job_power_kw > 0
         assert 0 < sample.mean_cpu_util <= 1
         # Idle nodes: 32 - 6 = 26
-        per_node_idle = model.system.partitions[0].node_power.min_watts / 1000.0
+        per_node_idle = model.system.partitions[0].node_power.min_w / 1000.0
         assert sample.idle_power_kw == pytest.approx(26 * per_node_idle)
 
     def test_more_load_more_power(self, model):
@@ -172,16 +173,16 @@ class TestSystemPowerModel:
 
     def test_job_energy_constant_profile(self, model):
         job = make_job(nodes=2, duration=1000, node_power=constant_profile(500.0, 1000))
-        assert model.job_energy_joules(job) == pytest.approx(2 * 500.0 * 1000)
+        assert model.job_energy_j(job) == pytest.approx(2 * 500.0 * 1000)
 
     def test_job_energy_from_utilization(self, model):
         job = make_job(nodes=1, duration=100, cpu=0.0, gpu=0.0, mem=0.0)
-        node_min = model.system.partitions[0].node_power.min_watts
-        assert model.job_energy_joules(job) == pytest.approx(node_min * 100)
+        node_min = model.system.partitions[0].node_power.min_w
+        assert model.job_energy_j(job) == pytest.approx(node_min * 100)
 
     def test_job_energy_zero_duration(self, model, job_factory):
         job = job_factory(duration=0.0)
-        assert model.job_energy_joules(job) == 0.0
+        assert model.job_energy_j(job) == 0.0
 
     def test_job_energy_piecewise_profile(self, model, tiny_system):
         node_cfg = tiny_system.partitions[0].node_power
@@ -189,9 +190,9 @@ class TestSystemPowerModel:
         job.cpu_util = Profile([0, 100], [0.0, 1.0])
         job.gpu_util = constant_profile(0.0, 200)
         job.mem_util = constant_profile(0.0, 200)
-        low = node_cfg.min_watts
-        high = low + node_cfg.cpus_per_node * (node_cfg.cpu_max_watts - node_cfg.cpu_idle_watts)
-        assert model.job_energy_joules(job) == pytest.approx(low * 100 + high * 100)
+        low = node_cfg.min_w
+        high = low + node_cfg.cpus_per_node * (node_cfg.cpu_max_w - node_cfg.cpu_idle_w)
+        assert model.job_energy_j(job) == pytest.approx(low * 100 + high * 100)
 
     def test_down_nodes_reduce_idle_power(self, model):
         with_down = model.sample(0.0, [], down_nodes=16)

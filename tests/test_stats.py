@@ -38,12 +38,12 @@ class TestDerivedMetrics:
         )
         assert stats.mean_pue <= stats.max_pue
 
-    def test_wait_and_node_hours(self, finished_run):
+    def test_wait_and_node_h(self, finished_run):
         stats = finished_run.stats
         waits = [j.wait_time for j in stats.completed_jobs]
         assert stats.mean_wait_s == pytest.approx(sum(waits) / len(waits))
         assert stats.max_wait_s == pytest.approx(max(waits))
-        assert stats.node_hours == pytest.approx(
+        assert stats.node_h == pytest.approx(
             sum(j.nodes_required * (j.sim_duration or 0.0) for j in stats.completed_jobs)
             / 3600.0
         )
@@ -283,7 +283,7 @@ class TestIncrementalSummary:
         waits = [j.wait_time for j in jobs if j.wait_time is not None]
         starts = [j.sim_start_time for j in jobs if j.sim_start_time is not None]
         ends = [j.sim_end_time for j in jobs if j.sim_end_time is not None]
-        assert stats.node_hours == pytest.approx(
+        assert stats.node_h == pytest.approx(
             sum(j.nodes_required * (j.sim_duration or 0.0) for j in jobs) / 3600.0
         )
         assert stats.mean_wait_s == pytest.approx(sum(waits) / len(waits))
@@ -292,7 +292,7 @@ class TestIncrementalSummary:
 
     def test_empty_job_metrics(self):
         stats = StatsCollector()
-        assert stats.node_hours == 0.0
+        assert stats.node_h == 0.0
         assert stats.mean_wait_s == 0.0
         assert stats.max_wait_s == 0.0
         assert stats.makespan_s == 0.0

@@ -8,12 +8,14 @@ from hypothesis import strategies as st
 
 from repro.exceptions import ConfigurationError
 from repro.units import (
+    ZERO_POWER_ATOL_KW,
     celsius_to_kelvin,
     format_duration,
     joules_to_kilowatt_hours,
     kelvin_to_celsius,
     kilowatt_hours_to_joules,
     kilowatts_to_megawatts,
+    is_zero_kw,
     node_seconds_to_node_hours,
     parse_duration,
     watts_to_kilowatts,
@@ -119,3 +121,71 @@ class TestUnitConversions:
 
     def test_celsius_to_kelvin_zero(self):
         assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+
+class TestParseDurationErrorPaths:
+    """The failure modes callers rely on for CLI argument validation."""
+
+    def test_unknown_suffix_names_the_unit(self):
+        with pytest.raises(ConfigurationError, match="parsecs"):
+            parse_duration("5 parsecs")
+
+    def test_malformed_mixed_text(self):
+        with pytest.raises(ConfigurationError, match="cannot parse"):
+            parse_duration("h5")
+
+    def test_negative_float_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            parse_duration(-0.5)
+
+    def test_none_error_mentions_requirement(self):
+        with pytest.raises(ConfigurationError, match="required"):
+            parse_duration(None, default=None)
+
+    def test_none_default_zero_is_honoured(self):
+        # default=0 is falsy but valid — must not be confused with "missing".
+        assert parse_duration(None, default=0) == 0
+
+    def test_whitespace_only_is_empty(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            parse_duration("   ")
+
+
+class TestConversionRoundTrips:
+    @given(st.floats(min_value=0.0, max_value=1e12, allow_nan=False))
+    def test_kwh_joules_roundtrip(self, joules):
+        assert joules_to_kilowatt_hours(kilowatt_hours_to_joules(joules / 3.6e6)) == (
+            pytest.approx(joules / 3.6e6)
+        )
+
+    @given(st.floats(min_value=-273.15, max_value=1e4, allow_nan=False))
+    def test_temperature_roundtrip(self, celsius):
+        assert kelvin_to_celsius(celsius_to_kelvin(celsius)) == pytest.approx(
+            celsius, abs=1e-9
+        )
+
+    @given(st.floats(min_value=-273.15, max_value=1e4, allow_nan=False))
+    def test_kelvin_is_never_negative_for_physical_celsius(self, celsius):
+        assert celsius_to_kelvin(celsius) >= 0.0
+
+
+class TestIsZeroKw:
+    def test_exact_zero(self):
+        assert is_zero_kw(0.0)
+
+    def test_negative_zero(self):
+        assert is_zero_kw(-0.0)
+
+    def test_subtolerance_residue(self):
+        # Round-off residue from a reordered summation counts as zero.
+        assert is_zero_kw(ZERO_POWER_ATOL_KW / 2)
+        assert is_zero_kw(-ZERO_POWER_ATOL_KW / 2)
+
+    def test_real_power_is_not_zero(self):
+        # A single idle node is tens of watts — far above the tolerance.
+        assert not is_zero_kw(0.01)
+        assert not is_zero_kw(-0.01)
+
+    def test_custom_tolerance(self):
+        assert is_zero_kw(0.5, atol_kw=1.0)
+        assert not is_zero_kw(0.5, atol_kw=0.1)

@@ -159,7 +159,9 @@ class TestSyntheticWorkloadGenerator:
         assert any(j.submit_time < 0 for j in tiny_workload)
 
     def test_no_prehistory_when_disabled(self, tiny_system):
-        gen = SyntheticWorkloadGenerator(tiny_system, WorkloadSpec(sizes=JobSizeDistribution(max_nodes=8)), seed=5)
+        gen = SyntheticWorkloadGenerator(
+            tiny_system, WorkloadSpec(sizes=JobSizeDistribution(max_nodes=8)), seed=5
+        )
         jobs = gen.generate(3600.0, include_prehistory=False)
         assert all(j.submit_time >= 0 for j in jobs)
 
@@ -169,8 +171,8 @@ class TestSyntheticWorkloadGenerator:
     def test_power_trace_consistent_with_node_model(self, tiny_workload, tiny_system):
         node = tiny_system.partitions[0].node_power
         for job in tiny_workload[:10]:
-            assert job.node_power.minimum() >= node.min_watts - 1e-6
-            assert job.node_power.maximum() <= node.max_watts + 1e-6
+            assert job.node_power.minimum() >= node.min_w - 1e-6
+            assert job.node_power.maximum() <= node.max_w + 1e-6
 
     def test_scalar_telemetry_mode(self, tiny_system):
         spec = WorkloadSpec(
@@ -182,7 +184,10 @@ class TestSyntheticWorkloadGenerator:
     def test_generate_job_count_approximate(self, tiny_system):
         gen = SyntheticWorkloadGenerator(
             tiny_system,
-            WorkloadSpec(sizes=JobSizeDistribution(max_nodes=8), arrivals=WaveArrivals(rate_per_hour=30)),
+            WorkloadSpec(
+                sizes=JobSizeDistribution(max_nodes=8),
+                arrivals=WaveArrivals(rate_per_hour=30),
+            ),
             seed=11,
         )
         jobs = gen.generate_job_count(200)
