@@ -42,6 +42,16 @@ numbers written to ``BENCH_engine.json`` in the repository root:
     per-job baseline is retained behind the flag as the differential,
     gated at 1e-9 exactly like scan-vs-heap.
 
+``engine_sweep_throughput``
+    A 64-run scenario-sweep grid on the tiny system (2 policies x 2
+    workload variants x 16 seeds), executed through ``repro.sweep`` twice:
+    single-worker in-process, then fanned over a process pool. Records
+    runs/s for both legs plus speedup and parallel efficiency (speedup /
+    workers; ``cpu_count`` is recorded so single-core runners are
+    self-explaining), and gates — at the same 1e-9 — that the pooled
+    store matches the single-process store metric for metric and that the
+    public ``run_simulation`` shim reproduces stored rows.
+
 The script doubles as the CI metrics gate: ``--golden PATH`` compares the
 24 h run's summary against a committed golden record and exits non-zero on
 drift beyond 1e-6 relative tolerance; ``--write-golden PATH`` refreshes the
@@ -424,6 +434,122 @@ def bench_burst_arrival(args):
     return record
 
 
+def bench_sweep_throughput(args):
+    """A >=64-run tiny-system grid, 1 worker vs a process pool.
+
+    Measures sweep fan-out, not the engine: the same
+    :class:`~repro.sweep.SweepSpec` (policies x workload variants x seeds)
+    is executed twice into throwaway stores — in-process single-worker,
+    then pooled — and the record carries runs/s for both plus the speedup
+    and parallel efficiency (speedup / workers, against ``cpu_count`` for
+    context: efficiency targets are only meaningful when the host actually
+    has the cores).
+
+    Two semantic gates ride along (wall clock stays advisory, as
+    everywhere in this script): every run of both sweeps must complete,
+    and the pooled store must match the single-process store at 1e-9 per
+    metric — the single-process sweep executes ``run_request`` in the
+    parent, so this is exactly "every stored summary matches a direct run
+    of the same request". A spot check re-runs a few requests through the
+    public ``run_simulation`` shim as well.
+    """
+    import os
+    import tempfile
+
+    from repro import run_simulation
+    from repro.sweep import ResultsStore, RunRequest, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="bench_sweep",
+        duration_s=parse_duration(args.sweep_duration),
+        systems=("tiny",),
+        policies=("fcfs", "backfill"),
+        workloads=("default", "busy_trace"),
+        n_seeds=args.sweep_seeds,
+        root_seed=args.seed,
+    )
+    workers = args.sweep_workers
+    with tempfile.TemporaryDirectory() as tmp:
+        single_path = Path(tmp) / "single.sqlite"
+        pooled_path = Path(tmp) / "pooled.sqlite"
+        single = run_sweep(
+            spec, single_path, workers=1, heartbeat_interval_s=None
+        )
+        pooled = run_sweep(
+            spec,
+            pooled_path,
+            workers=workers,
+            chunk_size=args.sweep_chunk_size,
+            heartbeat_interval_s=None,
+        )
+        with ResultsStore(single_path) as a, ResultsStore(pooled_path) as b:
+            single_rows = {r.run_id: r for r in a.runs(status="completed")}
+            pooled_rows = {r.run_id: r for r in b.runs(status="completed")}
+
+    store_drift = 0.0
+    for run_id, row in single_rows.items():
+        other = pooled_rows.get(run_id)
+        if other is None or other.summary is None or row.summary is None:
+            store_drift = math.inf
+            break
+        store_drift = max(store_drift, _summary_drift(other.summary, row.summary))
+
+    # Spot check through the public shim: a handful of stored requests are
+    # re-executed in this process via run_simulation, which routes through
+    # the same RunRequest path — exact agreement expected, 1e-9 the gate.
+    shim_drift = 0.0
+    for row in list(single_rows.values())[:: max(1, len(single_rows) // 4)][:4]:
+        request = RunRequest.from_json(row.request_json)
+        fresh = run_simulation(
+            system=request.system,
+            policy=request.policy,
+            duration=request.duration_s,
+            seed=request.seed,
+            spec=request.spec,
+            dense_ticks=request.dense_ticks,
+        ).summary()
+        assert row.summary is not None
+        shim_drift = max(shim_drift, _summary_drift(fresh, row.summary))
+
+    speedup = (
+        pooled.runs_per_s / single.runs_per_s if single.runs_per_s > 0 else 0.0
+    )
+    record = {
+        "benchmark": "engine_sweep_throughput",
+        "system": "tiny",
+        "duration": args.sweep_duration,
+        "seed": args.seed,
+        "total_runs": spec.total_runs,
+        "workers": workers,
+        "chunk_size": args.sweep_chunk_size,
+        "cpu_count": os.cpu_count(),
+        "single": {
+            "wall_s": single.wall_s,
+            "runs_per_s": single.runs_per_s,
+            "completed": single.completed,
+            "failed": single.failed,
+        },
+        "parallel": {
+            "wall_s": pooled.wall_s,
+            "runs_per_s": pooled.runs_per_s,
+            "completed": pooled.completed,
+            "failed": pooled.failed,
+        },
+        "speedup": speedup,
+        "parallel_efficiency": speedup / workers if workers else 0.0,
+        "store_vs_single_drift_rel": store_drift,
+        "shim_vs_store_drift_rel": shim_drift,
+    }
+    print(
+        f"sweep-throughput: {spec.total_runs} runs on tiny, "
+        f"{single.runs_per_s:.2f} runs/s single vs {pooled.runs_per_s:.2f} "
+        f"runs/s with {workers} workers ({speedup:.2f}x, efficiency "
+        f"{record['parallel_efficiency']:.0%} on {record['cpu_count']} cores), "
+        f"store drift {store_drift:.2e}, shim drift {shim_drift:.2e}"
+    )
+    return record
+
+
 def _is_finite_number(value) -> bool:
     return (
         isinstance(value, (int, float))
@@ -573,6 +699,20 @@ def main() -> int:
     parser.add_argument("--frontier-system", default="frontier")
     parser.add_argument("--frontier-duration", default="12h")
     parser.add_argument("--burst-duration", default="12h")
+    parser.add_argument("--sweep-duration", default="12h")
+    parser.add_argument(
+        "--sweep-seeds", type=int, default=16,
+        help="seeds per grid point in the sweep benchmark (4 grid points, "
+             "so 16 seeds = 64 runs)",
+    )
+    parser.add_argument(
+        "--sweep-workers", type=int, default=4,
+        help="pool size for the parallel leg of the sweep benchmark",
+    )
+    parser.add_argument(
+        "--sweep-chunk-size", type=int, default=4,
+        help="runs per pool task in the sweep benchmark",
+    )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -611,12 +751,14 @@ def main() -> int:
     busy_record = bench_busy_trace(args, system)
     frontier_record = bench_frontier_scale(args)
     burst_record = bench_burst_arrival(args)
+    sweep_record = bench_sweep_throughput(args)
 
     record = dict(window_record)
     record["idle_heavy"] = idle_record
     record["busy_trace"] = busy_record
     record["frontier_scale"] = frontier_record
     record["burst_arrival"] = burst_record
+    record["sweep_throughput"] = sweep_record
     record["python"] = platform.python_version()
     record["machine"] = platform.machine()
 
@@ -684,6 +826,30 @@ def main() -> int:
                 f"{rec['benchmark']}: per-job-vs-batched summary drift "
                 f"{rec['perjob_vs_batched_drift_rel']:.3e} > "
                 f"{EQUIVALENCE_RTOL:.0e}"
+            )
+    # The sweep is an orchestration layer over the same engine, so it gets
+    # the same contract: every run completes, and the pooled store must
+    # reproduce the single-process store (itself direct run_request output)
+    # and the public run_simulation shim to the equivalence tolerance.
+    for leg in ("single", "parallel"):
+        sweep_leg = sweep_record[leg]
+        if (
+            sweep_leg["failed"] > 0
+            or sweep_leg["completed"] != sweep_record["total_runs"]
+        ):
+            equivalence_failures.append(
+                f"{sweep_record['benchmark']}: {leg} leg completed "
+                f"{sweep_leg['completed']}/{sweep_record['total_runs']} runs "
+                f"with {sweep_leg['failed']} failures"
+            )
+    for drift_key, label in (
+        ("store_vs_single_drift_rel", "pooled-vs-single store"),
+        ("shim_vs_store_drift_rel", "run_simulation-vs-store"),
+    ):
+        if not sweep_record[drift_key] <= EQUIVALENCE_RTOL:
+            equivalence_failures.append(
+                f"{sweep_record['benchmark']}: {label} summary drift "
+                f"{sweep_record[drift_key]:.3e} > {EQUIVALENCE_RTOL:.0e}"
             )
     # The frontier-scale benchmark only means something at frontier scale.
     if frontier_record["max_running_jobs"] < 1000:

@@ -46,6 +46,13 @@ from .obs import (
     SpanTracer,
 )
 from .power import SystemPowerModel
+from .sweep import (
+    ResultsStore,
+    RunRequest,
+    SweepSpec,
+    run_request,
+    run_sweep,
+)
 from .telemetry import Job, JobState, Profile, constant_profile, read_swf
 from .workloads import SyntheticWorkloadGenerator, WorkloadSpec
 
@@ -71,6 +78,12 @@ __all__ = [
     "ResourceManager",
     "SystemPowerModel",
     "CoolingPlant",
+    # scenario sweeps
+    "RunRequest",
+    "run_request",
+    "SweepSpec",
+    "run_sweep",
+    "ResultsStore",
     # observability
     "Observability",
     "SpanTracer",

@@ -56,7 +56,13 @@ from .stats import StatsCollector
 #: Engine phases the span tracer times (one span per phase per step).
 ENGINE_PHASES = ("schedule", "coalesce", "power", "cooling", "stats")
 
-__all__ = ["SimulationEngine", "SimulationResult", "run_simulation", "parse_duration"]
+__all__ = [
+    "SimulationEngine",
+    "SimulationResult",
+    "resolve_policy_name",
+    "run_simulation",
+    "parse_duration",
+]
 
 
 def parse_duration(value: str | float | int) -> float:
@@ -676,6 +682,34 @@ class SimulationEngine:
             ).inc(self._events.events_emitted)
 
 
+def resolve_policy_name(
+    policy: str | Scheduler, backfill: str | None
+) -> str | Scheduler:
+    """Apply the ``backfill=`` convenience switch to a policy selection.
+
+    ``"easy"`` (and friends) upgrades an ``fcfs``/``backfill`` name to EASY
+    backfill; anything else is rejected. Shared by :func:`run_simulation`
+    and :func:`repro.sweep.run_request` so the shim and the serialisable
+    path can never drift in what they accept.
+    """
+    if backfill is None:
+        return policy
+    if str(backfill).lower() not in ("easy", "on", "true", "1"):
+        raise SchedulingError(f"unknown backfill mode {backfill!r}; use 'easy'")
+    if isinstance(policy, Scheduler):
+        if not isinstance(policy, BackfillScheduler):
+            raise SchedulingError(
+                f"backfill={backfill!r} is incompatible with the "
+                f"{policy.name!r} scheduler instance"
+            )
+        return policy
+    if policy in ("fcfs", "backfill"):
+        return "backfill"
+    raise SchedulingError(
+        f"backfill={backfill!r} is incompatible with policy {policy!r}"
+    )
+
+
 def run_simulation(
     system: SystemConfig | str = "tiny",
     *,
@@ -690,6 +724,16 @@ def run_simulation(
     obs: Observability | None = None,
 ) -> SimulationResult:
     """Run one end-to-end simulation and return its result.
+
+    Back-compat shim: a call whose arguments are fully serialisable —
+    ``system`` given as a registry name, ``policy`` as a name (or absent)
+    and no explicit ``workload`` list — is packed into a
+    :class:`~repro.sweep.RunRequest` and executed through
+    :func:`~repro.sweep.run_request`, the single path sweep workers and
+    the CLI also use. Calls holding live objects (an ad-hoc
+    :class:`SystemConfig`, a :class:`Scheduler` instance, a job list) keep
+    the historical direct path below — they cannot cross a process
+    boundary.
 
     Parameters
     ----------
@@ -722,28 +766,38 @@ def run_simulation(
         metrics, event log, progress reporter); ``None`` (the default)
         runs fully uninstrumented.
     """
+    if (
+        workload is None
+        and isinstance(system, str)
+        and (policy is None or isinstance(policy, str))
+    ):
+        # Serialisable call: route through the one RunRequest execution
+        # path. Imported lazily — repro.sweep imports this module, so a
+        # top-level import here would be a cycle.
+        from ..sweep.request import RunRequest, run_request
+
+        return run_request(
+            RunRequest(
+                system=system,
+                policy=policy,
+                backfill=backfill,
+                duration_s=parse_duration(duration),
+                seed=seed,
+                spec=spec,
+                horizon_s=parse_duration(horizon) if horizon is not None else None,
+                dense_ticks=dense_ticks,
+            ),
+            obs=obs,
+        )
     config = system if isinstance(system, SystemConfig) else get_system_config(system)
     if workload is None:
         if spec is None:
             spec = default_workload_spec(config)
         generator = SyntheticWorkloadGenerator(config, spec, seed=seed)
         workload = generator.generate(parse_duration(duration))
-    policy_name = policy if policy is not None else config.default_policy
-    if backfill is not None:
-        if str(backfill).lower() not in ("easy", "on", "true", "1"):
-            raise SchedulingError(f"unknown backfill mode {backfill!r}; use 'easy'")
-        if isinstance(policy_name, Scheduler):
-            if not isinstance(policy_name, BackfillScheduler):
-                raise SchedulingError(
-                    f"backfill={backfill!r} is incompatible with the "
-                    f"{policy_name.name!r} scheduler instance"
-                )
-        elif policy_name in ("fcfs", "backfill"):
-            policy_name = "backfill"
-        else:
-            raise SchedulingError(
-                f"backfill={backfill!r} is incompatible with policy {policy_name!r}"
-            )
+    policy_name = resolve_policy_name(
+        policy if policy is not None else config.default_policy, backfill
+    )
     engine = SimulationEngine(
         config,
         workload,
