@@ -42,6 +42,17 @@ numbers written to ``BENCH_engine.json`` in the repository root:
     per-job baseline is retained behind the flag as the differential,
     gated at 1e-9 exactly like scan-vs-heap.
 
+``engine_power_cap``
+    The busy-trace window re-run under operating signals: a binding IT
+    power cap (sized at 70% of the uncapped run's compute-power peak, so
+    it self-scales with the workload), a stepped electricity price and a
+    constant carbon intensity. Run dense vs event-driven, gated at 1e-9
+    like every other equivalence pair, plus two semantic gates of its own:
+    the constant cap must never be violated (``cap_violation_kwh == 0`` —
+    the scheduler's admission check is exact, not best-effort) and the cap
+    must actually bind (``capped_hold_s > 0``), so the benchmark can never
+    silently degrade into an uncapped rerun.
+
 ``engine_sweep_throughput``
     A 64-run scenario-sweep grid on the tiny system (2 policies x 2
     workload variants x 16 seeds), executed through ``repro.sweep`` twice:
@@ -109,6 +120,7 @@ from pathlib import Path
 from repro.config import get_system_config
 from repro.engine import SimulationEngine, parse_duration
 from repro.engine.stats import json_safe
+from repro.power import OperatingSignals
 from repro.obs import Observability, SpanTracer
 from repro.workloads import (
     SyntheticWorkloadGenerator,
@@ -159,11 +171,11 @@ def idle_heavy_spec() -> WorkloadSpec:
 
 def _timed_run(
     system, workload, policy, seed, *,
-    dense_ticks=False, event_index=True, vectorized=True,
+    dense_ticks=False, event_index=True, vectorized=True, signals=None,
 ):
     engine = SimulationEngine(
         system, workload, policy, seed=seed, dense_ticks=dense_ticks,
-        event_index=event_index, vectorized=vectorized,
+        event_index=event_index, vectorized=vectorized, signals=signals,
     )
     started = time.perf_counter()
     result = engine.run()
@@ -312,6 +324,69 @@ def bench_busy_trace(args, system):
         "engine_busy_trace_24h", "busy-trace", args, system,
         busy_trace_spec(), args.busy_duration,
     )
+
+
+def bench_power_cap(args, system):
+    """The busy-trace window under a binding cap plus price/carbon steps."""
+    duration_s = parse_duration(args.busy_duration)
+    generator = SyntheticWorkloadGenerator(system, busy_trace_spec(), seed=args.seed)
+    workload = generator.generate(duration_s)
+
+    # Size the cap from an uncapped reference run: 70% of the observed
+    # compute-power peak binds hard without starving the whole queue, and
+    # self-scales if the workload or system ever changes.
+    reference = SimulationEngine(system, workload, args.policy, seed=args.seed).run()
+    cap_kw = 0.7 * float(reference.stats.column("compute_power_kw").max())
+    third_s = duration_s / 3.0
+    signals = OperatingSignals(
+        power_cap_kw=((0.0, cap_kw),),
+        price_per_kwh=((0.0, 0.08), (third_s, 0.24), (2.0 * third_s, 0.08)),
+        carbon_kg_per_kwh=((0.0, 0.35),),
+    )
+
+    dense_summary, dense = _timed_run(
+        system, workload, args.policy, args.seed, dense_ticks=True, signals=signals
+    )
+    event_summary, event = _timed_run(
+        system, workload, args.policy, args.seed, signals=signals
+    )
+    drift = _summary_drift(event_summary, dense_summary)
+    if args.profile:
+        PROFILE_TARGETS.append((
+            "engine_power_cap (event-driven)",
+            lambda: _traced_run(
+                system, workload, args.policy, args.seed, signals=signals
+            ),
+        ))
+    record = {
+        "benchmark": "engine_power_cap",
+        "system": system.name,
+        "policy": f"power_cap({args.policy})",
+        "duration": args.busy_duration,
+        "seed": args.seed,
+        "jobs": len(workload),
+        "power_cap_kw": cap_kw,
+        "uncapped_peak_compute_kw": cap_kw / 0.7,
+        "mean_utilization": event_summary["mean_utilization"],
+        "energy_cost": event_summary["energy_cost"],
+        "carbon_kg": event_summary["carbon_kg"],
+        "cap_violation_kwh": event_summary["cap_violation_kwh"],
+        "capped_hold_s": event_summary["capped_hold_s"],
+        "jobs_completed": event_summary["jobs_completed"],
+        "dense": dense,
+        "event_driven": event,
+        "step_reduction": dense["steps"] / event["steps"] if event["steps"] else math.inf,
+        "wall_speedup": dense["wall_s"] / event["wall_s"] if event["wall_s"] else math.inf,
+        "max_summary_drift_rel": drift,
+    }
+    print(
+        f"power-cap: {len(workload)} jobs capped at {cap_kw:.1f} kW, "
+        f"{event_summary['capped_hold_s']:.0f} job-s held, "
+        f"{event_summary['cap_violation_kwh']:.3f} kWh over cap, "
+        f"cost {event_summary['energy_cost']:.2f} / {event_summary['carbon_kg']:.0f} kg CO2, "
+        f"summary drift {drift:.2e}"
+    )
+    return record
 
 
 def bench_frontier_scale(args):
@@ -638,7 +713,10 @@ def _soft_regressions(previous: dict | None, record: dict) -> list[dict]:
         return value if isinstance(value, dict) else None
 
     pairs = [("engine_24h_window", run_of(record, "best"), run_of(previous, "best"))]
-    for section in ("idle_heavy", "busy_trace", "frontier_scale", "burst_arrival"):
+    for section in (
+        "idle_heavy", "busy_trace", "power_cap", "frontier_scale",
+        "burst_arrival",
+    ):
         pairs.append((
             f"{section} (event-driven)",
             run_of(record.get(section), "event_driven"),
@@ -749,6 +827,7 @@ def main() -> int:
     window_record, window_summary = bench_24h_window(args, system)
     idle_record = bench_idle_heavy(args, system)
     busy_record = bench_busy_trace(args, system)
+    power_cap_record = bench_power_cap(args, system)
     frontier_record = bench_frontier_scale(args)
     burst_record = bench_burst_arrival(args)
     sweep_record = bench_sweep_throughput(args)
@@ -756,6 +835,7 @@ def main() -> int:
     record = dict(window_record)
     record["idle_heavy"] = idle_record
     record["busy_trace"] = busy_record
+    record["power_cap"] = power_cap_record
     record["frontier_scale"] = frontier_record
     record["burst_arrival"] = burst_record
     record["sweep_throughput"] = sweep_record
@@ -806,9 +886,26 @@ def main() -> int:
     equivalence_failures = [
         f"{rec['benchmark']}: dense-vs-event summary drift "
         f"{rec['max_summary_drift_rel']:.3e} > {EQUIVALENCE_RTOL:.0e}"
-        for rec in (idle_record, busy_record, frontier_record, burst_record)
+        for rec in (
+            idle_record, busy_record, power_cap_record, frontier_record,
+            burst_record,
+        )
         if not rec["max_summary_drift_rel"] <= EQUIVALENCE_RTOL
     ]
+    # Power-cap semantics: a constant cap is a hard guarantee (the
+    # admission check projects exact incremental peaks, so any violation is
+    # a scheduler bug), and the cap must actually bind or the benchmark
+    # stops measuring anything.
+    if power_cap_record["cap_violation_kwh"] != 0.0:
+        equivalence_failures.append(
+            f"{power_cap_record['benchmark']}: constant cap violated by "
+            f"{power_cap_record['cap_violation_kwh']:.6f} kWh (must be 0)"
+        )
+    if not power_cap_record["capped_hold_s"] > 0.0:
+        equivalence_failures.append(
+            f"{power_cap_record['benchmark']}: cap never bound "
+            "(capped_hold_s == 0); the workload no longer exercises capping"
+        )
     # The event indexes (end-time heap, breakpoint heap) change complexity,
     # never semantics: the scan path must reproduce the heap path exactly.
     if not frontier_record["scan_vs_heap_drift_rel"] <= EQUIVALENCE_RTOL:

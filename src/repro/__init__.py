@@ -29,6 +29,7 @@ from .cooling import CoolingPlant
 from .engine import (
     BackfillScheduler,
     FCFSScheduler,
+    PowerCapScheduler,
     ReplayScheduler,
     Scheduler,
     SimulationEngine,
@@ -45,7 +46,7 @@ from .obs import (
     ProgressReporter,
     SpanTracer,
 )
-from .power import SystemPowerModel
+from .power import OperatingSignals, SystemPowerModel
 from .sweep import (
     ResultsStore,
     RunRequest,
@@ -72,11 +73,13 @@ __all__ = [
     "ReplayScheduler",
     "FCFSScheduler",
     "BackfillScheduler",
+    "PowerCapScheduler",
     "available_policies",
     "get_scheduler",
     # component models
     "ResourceManager",
     "SystemPowerModel",
+    "OperatingSignals",
     "CoolingPlant",
     # scenario sweeps
     "RunRequest",

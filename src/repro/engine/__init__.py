@@ -33,6 +33,7 @@ from .engine import SimulationEngine, SimulationResult, parse_duration, run_simu
 from .scheduler import (
     BackfillScheduler,
     FCFSScheduler,
+    PowerCapScheduler,
     ReplayScheduler,
     Scheduler,
     SchedulingDecision,
@@ -51,6 +52,7 @@ __all__ = [
     "ReplayScheduler",
     "FCFSScheduler",
     "BackfillScheduler",
+    "PowerCapScheduler",
     "available_policies",
     "get_scheduler",
     "StatsCollector",

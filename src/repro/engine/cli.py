@@ -30,9 +30,11 @@ import sys
 from typing import Sequence
 
 from ..config import available_systems, get_system_config
-from ..exceptions import SRapsError
+from ..exceptions import ConfigurationError, SRapsError
 from ..obs import EventLog, MetricsRegistry, Observability, ProgressReporter, SpanTracer
+from ..power.signals import OperatingSignals
 from ..telemetry import read_swf
+from ..units import parse_duration as _parse_offset_s
 from .engine import parse_duration, run_simulation
 from .scheduler import available_policies
 
@@ -57,6 +59,10 @@ _REPORT_ROWS = (
     ("node_hours", "node-hours", "{:.1f}", "h"),
     ("mean_wait_s", "mean wait", "{:.0f}", "s"),
     ("max_wait_s", "max wait", "{:.0f}", "s"),
+    ("energy_cost", "energy cost", "{:.2f}", ""),
+    ("carbon_kg", "carbon", "{:.1f}", "kg"),
+    ("cap_violation_kwh", "cap violation", "{:.3f}", "kWh"),
+    ("capped_hold_s", "capped hold", "{:.0f}", "job-s"),
 )
 
 
@@ -116,6 +122,41 @@ def build_parser() -> argparse.ArgumentParser:
             "record one sample per timestep instead of coalescing event-free "
             "intervals (exact per-tick time series; summary metrics are "
             "identical either way)"
+        ),
+    )
+    power_group = parser.add_argument_group("power-aware operation")
+    power_group.add_argument(
+        "--power-cap",
+        type=float,
+        default=None,
+        metavar="KW",
+        help=(
+            "IT power cap in kW: wraps the policy in a power-capping "
+            "scheduler that holds (or dismisses) jobs exceeding the cap"
+        ),
+    )
+    power_group.add_argument(
+        "--price-per-kwh",
+        type=float,
+        default=None,
+        metavar="PRICE",
+        help="constant electricity price weighting the energy_cost metric",
+    )
+    power_group.add_argument(
+        "--carbon-per-kwh",
+        type=float,
+        default=None,
+        metavar="KG",
+        help="constant carbon intensity (kg/kWh) weighting the carbon_kg metric",
+    )
+    power_group.add_argument(
+        "--cap-window",
+        nargs=2,
+        default=None,
+        metavar=("START", "END"),
+        help=(
+            "demand-response window: apply --power-cap only between the two "
+            "offsets (e.g. --cap-window 2h 6h); uncapped outside"
         ),
     )
     parser.add_argument(
@@ -207,6 +248,35 @@ def _print_report(result_policy: str, system_name: str, summary: dict[str, float
         print(f"  {label:<{width}}  {value}{suffix}")
 
 
+def _signals_from_args(args: argparse.Namespace) -> OperatingSignals | None:
+    """Build the operating signals the power flags describe (or ``None``)."""
+    if (
+        args.power_cap is None
+        and args.price_per_kwh is None
+        and args.carbon_per_kwh is None
+    ):
+        if args.cap_window is not None:
+            raise ConfigurationError("--cap-window requires --power-cap")
+        return None
+    if args.cap_window is not None:
+        if args.power_cap is None:
+            raise ConfigurationError("--cap-window requires --power-cap")
+        start_s = float(_parse_offset_s(args.cap_window[0]))
+        end_s = float(_parse_offset_s(args.cap_window[1]))
+        return OperatingSignals.cap_window(
+            start_s,
+            end_s,
+            args.power_cap,
+            price_per_kwh=args.price_per_kwh,
+            carbon_kg_per_kwh=args.carbon_per_kwh,
+        )
+    return OperatingSignals.constant(
+        power_cap_kw=args.power_cap,
+        price_per_kwh=args.price_per_kwh,
+        carbon_kg_per_kwh=args.carbon_per_kwh,
+    )
+
+
 def _build_obs(args: argparse.Namespace) -> Observability | None:
     """The :class:`Observability` bundle the CLI flags ask for (or ``None``)."""
     tracer = SpanTracer() if args.trace_out else None
@@ -251,6 +321,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     obs = _build_obs(args)
     try:
+        signals = _signals_from_args(args)
         if args.swf is not None:
             # Externally loaded workloads cannot be captured in a
             # serialisable request; they keep the direct path.
@@ -263,6 +334,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 workload=workload,
                 horizon=args.horizon,
                 dense_ticks=args.dense_ticks,
+                signals=signals,
                 obs=obs,
             )
         else:
@@ -280,6 +352,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     parse_duration(args.horizon) if args.horizon is not None else None
                 ),
                 dense_ticks=args.dense_ticks,
+                signals=signals,
             )
             result = run_request(request, obs=obs)
     except (SRapsError, OSError) as exc:

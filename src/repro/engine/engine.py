@@ -47,10 +47,11 @@ from ..exceptions import AllocationError, SchedulingError, SimulationError
 from ..obs import Observability
 from ..obs.metrics import Histogram
 from ..power import RunningSetPowerAggregator, SystemPowerModel
+from ..power.signals import OperatingSignals
 from ..telemetry.job import Job, JobState
 from ..units import parse_duration as _parse_duration_s
 from ..workloads import SyntheticWorkloadGenerator, WorkloadSpec, default_workload_spec
-from .scheduler import BackfillScheduler, Scheduler, get_scheduler
+from .scheduler import BackfillScheduler, PowerCapScheduler, Scheduler, get_scheduler
 from .stats import StatsCollector
 
 #: Engine phases the span tracer times (one span per phase per step).
@@ -172,13 +173,25 @@ class SimulationEngine:
         dense_ticks: bool = False,
         event_index: bool = True,
         vectorized: bool = True,
+        signals: OperatingSignals | None = None,
         obs: Observability | None = None,
     ) -> None:
         self.system = system
+        self.signals = signals
         if isinstance(scheduler, Scheduler):
             self.scheduler = scheduler
         else:
             self.scheduler = get_scheduler(scheduler or system.default_policy)
+        if (
+            signals is not None
+            and signals.has_cap
+            and not isinstance(self.scheduler, PowerCapScheduler)
+        ):
+            # A finite cap anywhere in the signals means power-aware
+            # operation: wrap the chosen policy so its starts are admitted
+            # against the active cap. Price/carbon-only signals leave the
+            # policy untouched — they only weight the stats integrals.
+            self.scheduler = PowerCapScheduler(self.scheduler, signals)
         self.scheduler.reset()
         self.scheduler.vectorized = vectorized
         self.resource_manager = ResourceManager(system, seed=seed)
@@ -193,6 +206,8 @@ class SimulationEngine:
         self.power_aggregator = RunningSetPowerAggregator(
             self.power_model, self.resource_manager, batch_states=vectorized
         )
+        if isinstance(self.scheduler, PowerCapScheduler):
+            self.scheduler.bind_power_model(self.power_model)
         self.cooling_plant = (
             CoolingPlant(system.cooling) if system.cooling is not None else None
         )
@@ -270,6 +285,11 @@ class SimulationEngine:
             + sum(max(j.requested_runtime, j.duration) for j in self.jobs)
             + timestep
         )
+        if signals is not None:
+            # A demand-response window can hold every queued job until the
+            # cap lifts, pushing the serialised schedule past the job-only
+            # worst case by at most the span of the signal definition.
+            worst_case_s += signals.last_change_s
         self._max_ticks = int(worst_case_s / timestep) + 1000
 
     # -- state queries ---------------------------------------------------------
@@ -358,8 +378,19 @@ class SimulationEngine:
                 started.add(job.job_id)
                 if events is not None:
                     events.job_started(job, now)
-            if started:
-                self._queue = [j for j in self._queue if j.job_id not in started]
+            # Jobs a power-capped policy rejected outright (they can never
+            # fit under any present-or-future cap) leave the queue here,
+            # exactly like capacity-infeasible submissions.
+            dismissed = self.scheduler.drain_dismissals()
+            for job, reason in dismissed:
+                job.mark_dismissed()
+                job.metadata["dismiss_reason"] = reason
+                self.stats.record_job(job)
+                if events is not None:
+                    events.job_dismissed(job, now, reason)
+            if started or dismissed:
+                removed = started | {job.job_id for job, _ in dismissed}
+                self._queue = [j for j in self._queue if j.job_id not in removed]
         if tracer is not None:
             t0 = self._mark("schedule", t0)
 
@@ -407,7 +438,13 @@ class SimulationEngine:
             if tracer is not None:
                 t0 = self._mark("cooling", t0)
 
-        # (6) Statistics.
+        # (6) Statistics. Operating-signal values are piecewise constant and
+        # every coalesced interval is bounded by the signals' change points
+        # (see _coalesced_dt), so sampling them at ``now`` is exact over dt_s.
+        if self.signals is not None:
+            power_cap_kw, price_per_kwh, carbon_kg_per_kwh = self.signals.values_at(now)
+        else:
+            power_cap_kw, price_per_kwh, carbon_kg_per_kwh = math.inf, 0.0, 0.0
         self.stats.record_tick(
             now,
             dt_s,
@@ -418,6 +455,10 @@ class SimulationEngine:
             ),
             running_jobs=running_count,
             queued_jobs=len(self._queue),
+            price_per_kwh=price_per_kwh,
+            carbon_kg_per_kwh=carbon_kg_per_kwh,
+            power_cap_kw=power_cap_kw,
+            cap_held_jobs=self.scheduler.held_jobs() if self._queue else 0,
         )
         if tracer is not None:
             self._mark("stats", t0)
@@ -534,6 +575,13 @@ class SimulationEngine:
         events: list[float] = []
         if hint is not None:
             events.append(hint)
+        if self.signals is not None:
+            # Signal steps are breakpoints of their own: the cap gates
+            # admission and the price/carbon/cap values weight the stats
+            # integrals, so a sample must never straddle a change point.
+            signal_change = self.signals.next_change_after(now)
+            if signal_change is not None:
+                events.append(signal_change)
         if self._pending:
             events.append(self._pending[0].submit_time)
         if self.event_index:
@@ -721,6 +769,7 @@ def run_simulation(
     spec: WorkloadSpec | None = None,
     horizon: str | float | None = None,
     dense_ticks: bool = False,
+    signals: OperatingSignals | None = None,
     obs: Observability | None = None,
 ) -> SimulationResult:
     """Run one end-to-end simulation and return its result.
@@ -761,6 +810,11 @@ def run_simulation(
     dense_ticks:
         Force one statistics sample per grid tick instead of event-driven
         coalescing. Summary metrics are identical either way.
+    signals:
+        Optional :class:`~repro.power.signals.OperatingSignals` — power
+        cap, electricity price and carbon intensity step series. A finite
+        cap wraps the policy in a
+        :class:`~repro.engine.scheduler.PowerCapScheduler`.
     obs:
         Optional :class:`~repro.obs.Observability` bundle (tracer,
         metrics, event log, progress reporter); ``None`` (the default)
@@ -786,6 +840,7 @@ def run_simulation(
                 spec=spec,
                 horizon_s=parse_duration(horizon) if horizon is not None else None,
                 dense_ticks=dense_ticks,
+                signals=signals,
             ),
             obs=obs,
         )
@@ -805,6 +860,7 @@ def run_simulation(
         seed=seed,
         horizon_s=parse_duration(horizon) if horizon is not None else None,
         dense_ticks=dense_ticks,
+        signals=signals,
         obs=obs,
     )
     return engine.run()

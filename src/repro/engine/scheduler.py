@@ -32,12 +32,17 @@ import abc
 import heapq
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..cluster import NodeState, ResourceManager
 from ..devtools import hot_path
 from ..exceptions import SchedulingError
+from ..power.signals import OperatingSignals
 from ..telemetry.job import Job
+from ..units import watts_to_kilowatts
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..power.system_power import SystemPowerModel
 
 __all__ = [
     "SchedulingDecision",
@@ -45,6 +50,7 @@ __all__ = [
     "ReplayScheduler",
     "FCFSScheduler",
     "BackfillScheduler",
+    "PowerCapScheduler",
     "available_policies",
     "get_scheduler",
 ]
@@ -125,6 +131,25 @@ class Scheduler(abc.ABC):
         none. Counters are per run (cleared by :meth:`reset`).
         """
         return {}
+
+    def drain_dismissals(self) -> list[tuple[Job, str]]:
+        """Jobs the policy decided to reject outright, each with a reason.
+
+        The engine polls this once per tick after executing the decisions
+        and marks the returned jobs dismissed, removing them from the
+        queue. Draining transfers ownership: the policy must forget the
+        jobs it returns. The default policy never dismisses.
+        """
+        return []
+
+    def held_jobs(self) -> int:
+        """Queued jobs the policy deliberately held back this tick.
+
+        Power-capped policies hold jobs that fit the free nodes but not
+        the active power budget; the engine feeds the count to the stats
+        collector's ``capped_hold_s`` integral. The default holds none.
+        """
+        return 0
 
     @hot_path
     def next_event_hint(self, queue: Sequence[Job], now: float) -> float | None:
@@ -695,6 +720,179 @@ class _FreeNodeCounts:
             for ledger_key in self._free:
                 if ledger_key is not None:
                     self._free[ledger_key] = max(0, self._free[ledger_key] - n)
+
+
+class PowerCapScheduler(Scheduler):
+    """Power-capping wrapper: admit a base policy's starts under a cap.
+
+    Composes over any base policy (replay/FCFS/backfill): the base proposes
+    start decisions as usual and the wrapper greedily admits them, in
+    order, while the *projected* IT power stays under the active
+    ``power_cap_kw`` from :class:`~repro.power.signals.OperatingSignals`.
+    Projected power is the system's idle floor (every node's minimum draw)
+    plus, per admitted job, its peak incremental draw over the idle
+    baseline of the nodes it occupies. The per-job peak is conservative,
+    so a run under a *constant* cap can never record compute power above
+    the cap (``cap_violation_kwh`` stays zero). Demand-response windows
+    that drop the cap below already-committed load — or below the idle
+    floor itself — can still record violations: capping holds *future*
+    starts, it does not checkpoint running jobs.
+
+    Jobs whose incremental draw can never fit under any present-or-future
+    cap are dismissed with a reason (``dismiss_infeasible=True``, the
+    default) instead of deadlocking an FCFS queue head forever; held jobs
+    simply stay queued and are re-proposed by the base policy next tick.
+    """
+
+    def __init__(
+        self,
+        base: Scheduler,
+        signals: OperatingSignals,
+        *,
+        dismiss_infeasible: bool = True,
+    ) -> None:
+        self.base = base
+        self.signals = signals
+        self.dismiss_infeasible = dismiss_infeasible
+        self.name = f"power_cap({base.name})"
+        self._power_model: SystemPowerModel | None = None
+        self._idle_floor_kw = 0.0
+        #: Peak incremental draw per job id (jobs are immutable, so the
+        #: grid evaluation in job_peak_power_w runs once per job).
+        self._incr_kw_cache: dict[int, float] = {}
+        #: Incremental draw committed per admitted job still running,
+        #: purged against the resource manager's running set on each
+        #: allocation epoch change.
+        self._committed_kw: dict[int, float] = {}
+        self._committed_total_kw = 0.0
+        self._epoch = -1
+        self._held = 0
+        #: Dismissals produced by the *latest* pass (not yet superseded by
+        #: another pass). A dismissal mutates the queue after the base
+        #: policy ran, so the base must be re-consulted on the very next
+        #: grid tick — see :meth:`next_event_hint`.
+        self._dismissed_pass = 0
+        self._dismissals: list[tuple[Job, str]] = []
+        #: Observability counters (published as ``sched_*_total`` metrics).
+        self._holds_total = 0
+        self._dismissed_total = 0
+
+    def bind_power_model(self, model: SystemPowerModel) -> None:
+        """Attach the run's power model (the engine calls this once)."""
+        self._power_model = model
+        self._idle_floor_kw = model.idle_floor_kw()
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._incr_kw_cache.clear()
+        self._committed_kw.clear()
+        self._committed_total_kw = 0.0
+        self._epoch = -1
+        self._held = 0
+        self._dismissed_pass = 0
+        self._dismissals.clear()
+        self._holds_total = 0
+        self._dismissed_total = 0
+
+    def observability_counters(self) -> dict[str, int]:
+        counters = dict(self.base.observability_counters())
+        counters["cap_hold_events"] = self._holds_total
+        counters["cap_dismissed_jobs"] = self._dismissed_total
+        return counters
+
+    def _incr_kw(self, job: Job) -> float:
+        """Peak incremental draw of one job over its nodes' idle baseline."""
+        cached = self._incr_kw_cache.get(job.job_id)
+        if cached is not None:
+            return cached
+        model = self._power_model
+        if model is None:  # pragma: no cover - the engine always binds
+            raise SchedulingError(
+                "PowerCapScheduler.schedule() called before bind_power_model()"
+            )
+        peak_w = model.job_peak_power_w(job)
+        idle_w = model.node_idle_power_w(job.partition) * job.nodes_required
+        incr = max(0.0, watts_to_kilowatts(peak_w - idle_w))
+        self._incr_kw_cache[job.job_id] = incr
+        return incr
+
+    def schedule(
+        self, queue: Sequence[Job], resource_manager: ResourceManager, now: float
+    ) -> list[SchedulingDecision]:
+        self.base.vectorized = self.vectorized
+        self._held = 0
+        self._dismissed_pass = 0
+        if resource_manager.epoch != self._epoch:
+            # Releases only happen across epoch changes, so the committed
+            # ledger needs purging exactly then. Recomputing the total from
+            # the surviving entries keeps float error from accumulating.
+            self._epoch = resource_manager.epoch
+            running = resource_manager.running_by_id
+            for job_id in [j for j in self._committed_kw if j not in running]:
+                del self._committed_kw[job_id]
+            self._committed_total_kw = sum(self._committed_kw.values())
+        proposals = self.base.schedule(queue, resource_manager, now)
+        if not proposals:
+            return proposals
+        cap_kw = self.signals.cap_at(now)
+        budget_kw = cap_kw - self._idle_floor_kw - self._committed_total_kw
+        admitted: list[SchedulingDecision] = []
+        for decision in proposals:
+            job = decision.job
+            incr_kw = self._incr_kw(job)
+            if incr_kw <= budget_kw:
+                admitted.append(decision)
+                budget_kw -= incr_kw
+                self._committed_kw[job.job_id] = incr_kw
+                self._committed_total_kw += incr_kw
+                continue
+            headroom_kw = self.signals.max_cap_at_or_after(now) - self._idle_floor_kw
+            if self.dismiss_infeasible and incr_kw > headroom_kw:
+                self._dismissals.append(
+                    (
+                        job,
+                        "power cap infeasible: needs "
+                        f"{incr_kw:.3f} kW over the idle floor, best "
+                        f"present-or-future headroom {headroom_kw:.3f} kW",
+                    )
+                )
+                self._dismissed_total += 1
+                self._dismissed_pass += 1
+                continue
+            self._held += 1
+            self._holds_total += 1
+        return admitted
+
+    def drain_dismissals(self) -> list[tuple[Job, str]]:
+        drained = self._dismissals
+        self._dismissals = []
+        return drained
+
+    def held_jobs(self) -> int:
+        return self._held
+
+    @hot_path
+    def next_event_hint(self, queue: Sequence[Job], now: float) -> float | None:
+        """Veto coalescing while any job is held back by the cap.
+
+        A held job's admissibility depends on the active cap *and* on the
+        base policy's proposal set, which (for backfill) can change with
+        ``now`` alone mid-interval as the shadow-time test ages; dense
+        stepping while holding keeps the dense and event-driven schedules
+        identical. A pass that *dismissed* jobs vetoes once too: the
+        dismissal removes queue entries after the base policy ran, so the
+        base's no-op contract (queue and running set frozen between events)
+        no longer holds — dismissing a blocked FCFS/backfill head unblocks
+        the jobs behind it on the very next grid tick, which a dense run
+        acts on immediately. With nothing held and nothing just dismissed,
+        the admitted set equals the base's proposals, so the base policy's
+        own coalescing contract applies unchanged. Cap *changes* bound
+        coalescing globally through the engine's signal breakpoint stream,
+        not through this hint.
+        """
+        if self._held or (self._dismissed_pass and queue):
+            return now
+        return self.base.next_event_hint(queue, now)
 
 
 _POLICIES: dict[str, Callable[[], Scheduler]] = {

@@ -160,7 +160,16 @@ class StatsCollector:
         self._it_energy_kwh = 0.0
         self._cooling_energy_kwh = 0.0
         self._utilization_weight = 0.0
+        self._cpu_util_weight = 0.0
+        self._gpu_util_weight = 0.0
         self._time_weight_s = 0.0
+        # Power-aware operation metrics: integrals of the operating signals
+        # (price / carbon / cap) against the power series, plus job-seconds
+        # of cap-induced queue holding. All stay 0.0 on signal-free runs.
+        self._energy_cost = 0.0
+        self._carbon_kg = 0.0
+        self._cap_violation_kwh = 0.0
+        self._capped_hold_s = 0.0
         # Incrementally maintained summary metrics (historically recomputed
         # by scanning all ticks/jobs on every property access).
         self._max_pue = 1.0
@@ -211,12 +220,23 @@ class StatsCollector:
         utilization: float,
         running_jobs: int,
         queued_jobs: int,
+        price_per_kwh: float = 0.0,
+        carbon_kg_per_kwh: float = 0.0,
+        power_cap_kw: float = math.inf,
+        cap_held_jobs: int = 0,
     ) -> TickSample:
         """Append one tick worth of coupled-model output.
 
         ``dt_s`` is the length of the interval the sample stands for; energy
         integrals treat each sample as constant over its interval (left
-        Riemann sum on the tick grid).
+        Riemann sum on the tick grid). The operating-signal inputs (price,
+        carbon intensity, active power cap, jobs held by the capping
+        policy) default to the signal-free values, so callers without an
+        :class:`~repro.power.OperatingSignals` input are unaffected; the
+        engine guarantees every signal value is constant over the interval
+        (signal change points bound coalescing), so the cost/carbon/
+        violation integrals below are exact, like every other integral
+        here.
         """
         cooling_kw = cooling.cooling_power_kw if cooling is not None else 0.0
         facility_kw = power.facility_power_kw + cooling_kw
@@ -255,7 +275,18 @@ class StatsCollector:
         self._it_energy_kwh += power.compute_power_kw * hours
         self._cooling_energy_kwh += cooling_kw * hours
         self._utilization_weight += utilization * dt_s
+        # dt-weighted like mean_utilization above: under coalescing a
+        # step-weighted average over the per-tick columns would overweight
+        # short samples.
+        self._cpu_util_weight += power.mean_cpu_util * dt_s
+        self._gpu_util_weight += power.mean_gpu_util * dt_s
         self._time_weight_s += dt_s
+        self._energy_cost += facility_kw * hours * price_per_kwh
+        self._carbon_kg += facility_kw * hours * carbon_kg_per_kwh
+        if power.compute_power_kw > power_cap_kw:
+            self._cap_violation_kwh += (power.compute_power_kw - power_cap_kw) * hours
+        if cap_held_jobs:
+            self._capped_hold_s += cap_held_jobs * dt_s
         if power.compute_power_kw > 0 and math.isfinite(pue) and pue > self._max_pue:
             self._max_pue = pue
         # Returned sample built straight from the locals — no column
@@ -353,6 +384,46 @@ class StatsCollector:
         return self._utilization_weight / self._time_weight_s
 
     @property
+    def mean_cpu_util(self) -> float:
+        """Time-weighted mean CPU utilization across allocated nodes.
+
+        dt-weighted like :attr:`mean_utilization`; a plain average over the
+        per-tick ``mean_cpu_util`` column would be step-weighted and drift
+        between dense and coalesced runs.
+        """
+        if self._time_weight_s <= 0:
+            return 0.0
+        return self._cpu_util_weight / self._time_weight_s
+
+    @property
+    def mean_gpu_util(self) -> float:
+        """Time-weighted mean GPU utilization across allocated nodes."""
+        if self._time_weight_s <= 0:
+            return 0.0
+        return self._gpu_util_weight / self._time_weight_s
+
+    @property
+    def energy_cost(self) -> float:
+        """Electricity cost of the facility energy (``Σ kWh · price``)."""
+        return self._energy_cost
+
+    @property
+    def carbon_kg(self) -> float:
+        """Carbon emitted by the facility energy (``Σ kWh · kg/kWh``)."""
+        return self._carbon_kg
+
+    @property
+    def cap_violation_kwh(self) -> float:
+        """IT energy drawn above the active power cap (0 when capped runs
+        are enforced by the :class:`~repro.engine.PowerCapScheduler`)."""
+        return self._cap_violation_kwh
+
+    @property
+    def capped_hold_s(self) -> float:
+        """Job-seconds of cap-induced queue holding (``Σ held_jobs · dt``)."""
+        return self._capped_hold_s
+
+    @property
     def node_h(self) -> float:
         """Node-hours delivered to completed jobs (maintained incrementally)."""
         return self._node_h
@@ -396,6 +467,12 @@ class StatsCollector:
             "jobs_dismissed": float(len(self.dismissed_jobs)),
             "ticks": float(self._tick_count),
             "simulated_s": self.elapsed_s,
+            "mean_cpu_util": self.mean_cpu_util,
+            "mean_gpu_util": self.mean_gpu_util,
+            "energy_cost": self.energy_cost,
+            "carbon_kg": self.carbon_kg,
+            "cap_violation_kwh": self.cap_violation_kwh,
+            "capped_hold_s": self.capped_hold_s,
         }
 
     def column(self, name: str) -> np.ndarray:

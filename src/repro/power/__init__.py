@@ -8,6 +8,7 @@ the cooling model — the RAPS power path of the original ExaDigiT work.
 
 from .node_power import NodePowerModel, system_idle_power_kw
 from .losses import ConversionLossModel, LossBreakdown
+from .signals import OperatingSignals
 from .system_power import (
     RunningSetPowerAggregator,
     SystemPowerModel,
@@ -20,6 +21,7 @@ __all__ = [
     "system_idle_power_kw",
     "ConversionLossModel",
     "LossBreakdown",
+    "OperatingSignals",
     "RunningSetPowerAggregator",
     "SystemPowerModel",
     "SystemPowerSample",

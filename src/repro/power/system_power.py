@@ -108,6 +108,50 @@ class SystemPowerModel:
         widths = np.diff(edges)
         return float(np.sum(watts * widths)) * job.nodes_required
 
+    def job_peak_power_w(self, job: Job) -> float:
+        """Peak instantaneous power of one job (watts across all its nodes).
+
+        Evaluated on the union change-point grid of the job's
+        power-relevant profiles (recorded trace when present, component
+        model otherwise) — piecewise-constant profiles attain their peak
+        on the grid, so this is an exact bound on
+        :meth:`job_power_w` at any time. The
+        :class:`~repro.engine.scheduler.PowerCapScheduler` projects
+        admissions against this peak, which is what makes its zero-violation
+        guarantee hold for time-varying job power under a constant cap.
+        """
+        times = _union_grid(job)
+        if job.node_power is not None:
+            watts = job.node_power.values_at(times)
+        else:
+            model = self.node_model(job.partition)
+            cpu = job.cpu_util.values_at(times)
+            gpu = job.gpu_util.values_at(times)
+            mem = job.mem_util.values_at(times)
+            watts = np.asarray(model.power(cpu, gpu, mem), dtype=float)
+        return float(np.max(watts)) * job.nodes_required
+
+    def node_idle_power_w(self, partition: str) -> float:
+        """Idle draw of one in-service node of ``partition`` (watts)."""
+        partition_config = next(
+            (p for p in self.system.partitions if p.name == partition),
+            self.system.partitions[0],
+        )
+        return float(partition_config.node_power.min_w)
+
+    def idle_floor_kw(self) -> float:
+        """IT power of the whole system sitting idle (every node at min), kW.
+
+        A conservative floor for cap projections: actual idle power is
+        lower whenever nodes are allocated (their idle share moves into job
+        power) or down.
+        """
+        idle_w = sum(
+            partition.node_count * partition.node_power.min_w
+            for partition in self.system.partitions
+        )
+        return idle_w / 1000.0
+
     # -- system power ---------------------------------------------------------------
 
     def sample(

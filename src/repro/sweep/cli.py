@@ -255,6 +255,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # The driver has already salvaged queued outcomes and shut the pool
+        # down; every recorded run is durable, so the same command resumes.
+        print(
+            "interrupted — completed runs are stored; re-run the same "
+            "command to resume",
+            file=sys.stderr,
+        )
+        return 130
     except (SRapsError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -25,6 +25,13 @@ Design points:
   the store before dispatch and skipped; failed rows stay eligible and are
   retried. Killing the driver loses at most in-flight runs — every ingested
   result was committed individually.
+* **Ctrl-C is safe.** ``KeyboardInterrupt`` during ingest salvages the
+  outcomes already sitting in the results queue into the store, shuts the
+  pool and manager down (no orphaned workers), and re-raises with a resume
+  hint — the interrupted sweep continues from the store on the next run.
+* **Ingest terminates by accounting, not by peeking.** ``Queue.empty()``
+  is unreliable across processes, so the loop runs until every pending run
+  has either reported its outcome or been reaped from a dead chunk.
 """
 
 from __future__ import annotations
@@ -435,8 +442,9 @@ def _run_pooled(
         return count
 
     try:
-        queue: "Queue[object]" = manager.Queue()
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        queue: "Queue[object]" = _results_queue(manager)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             future_chunks: dict[Future[None], tuple[_RunPayload, ...]] = {
                 pool.submit(_execute_chunk, chunk, queue): chunk
                 for chunk in _chunks(
@@ -444,7 +452,13 @@ def _run_pooled(
                 )
             }
             outstanding = set(future_chunks)
-            while outstanding or _queue_peekable(queue):
+            # Termination is by deterministic accounting, never by peeking:
+            # Queue.empty() is documented unreliable across processes, so
+            # "all futures done and the queue looks empty" can still leave
+            # the last _RunOutcome in flight. Every pending run either
+            # reports over the queue or is reaped from a dead chunk, so the
+            # loop runs until the two tallies meet.
+            while outstanding or len(reported) < len(pending):
                 drained = False
                 while True:
                     try:
@@ -489,14 +503,52 @@ def _run_pooled(
                     error = future.exception()
                     if error is not None:
                         failed += _reap_dead_chunk(future_chunks[future], error)
+        except BaseException:
+            # KeyboardInterrupt (and anything else escaping the ingest
+            # loop) must not lose work or orphan workers: persist outcomes
+            # already delivered to the queue, tell the user the sweep is
+            # resumable, then shut the pool down on the way out.
+            salvaged = _salvage_queue(queue, store, by_id, reported)
+            if heartbeat.stream is not None:
+                heartbeat.stream.write(
+                    f"[sweep {heartbeat.sweep}] interrupted — "
+                    f"{len(reported)} run(s) recorded ({salvaged} salvaged "
+                    "from the queue); re-run the same sweep to resume\n"
+                )
+                heartbeat.stream.flush()
+            raise
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
     finally:
         manager.shutdown()
     return completed, failed, False
 
 
-def _queue_peekable(queue: "Queue[object]") -> bool:
-    """Whether the results queue still has unread messages."""
-    try:
-        return not queue.empty()
-    except (OSError, EOFError):  # pragma: no cover - manager already gone
-        return False
+def _results_queue(manager: "SyncManager") -> "Queue[object]":
+    """The parent-side results queue (module hook so tests can wrap it)."""
+    return manager.Queue()
+
+
+def _salvage_queue(
+    queue: "Queue[object]",
+    store: ResultsStore,
+    by_id: Mapping[str, SweepRun],
+    reported: set[str],
+) -> int:
+    """Drain and persist outcomes already delivered when ingest is aborted.
+
+    Called on the interrupt path: an outcome sitting in the manager queue
+    is finished work, and dropping it would re-run that simulation on
+    resume for nothing. Best effort — a manager that is already gone just
+    ends the drain.
+    """
+    salvaged = 0
+    while True:
+        try:
+            message = queue.get_nowait()
+        except (Empty, OSError, EOFError):
+            return salvaged
+        if isinstance(message, _RunOutcome) and message.run_id not in reported:
+            _record_outcome(store, by_id[message.run_id], message)
+            reported.add(message.run_id)
+            salvaged += 1

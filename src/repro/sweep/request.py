@@ -32,6 +32,7 @@ from ..config import get_system_config
 from ..engine.engine import SimulationEngine, SimulationResult, resolve_policy_name
 from ..exceptions import ConfigurationError, SimulationError
 from ..obs import Observability
+from ..power.signals import OperatingSignals
 from ..workloads import (
     BurstArrivals,
     JobSizeDistribution,
@@ -167,6 +168,12 @@ class RunRequest:
         Optional hard stop for the engine clock, seconds.
     dense_ticks / event_index / vectorized:
         The engine's sampling / complexity flags, defaulted like the engine.
+    signals:
+        Optional :class:`~repro.power.signals.OperatingSignals` (or its
+        JSON dict form) — power cap, electricity price and carbon
+        intensity step series for power-aware operation. ``None`` (the
+        default) is serialised by *omission* so every pre-existing
+        request keeps its run id.
     """
 
     system: str = "tiny"
@@ -179,6 +186,7 @@ class RunRequest:
     dense_ticks: bool = False
     event_index: bool = True
     vectorized: bool = True
+    signals: OperatingSignals | None = None
 
     def __post_init__(self) -> None:
         if not self.system or not isinstance(self.system, str):
@@ -199,12 +207,16 @@ class RunRequest:
         object.__setattr__(self, "seed", int(self.seed))
         if self.horizon_s is not None:
             object.__setattr__(self, "horizon_s", float(self.horizon_s))
+        if self.signals is not None and not isinstance(self.signals, OperatingSignals):
+            object.__setattr__(
+                self, "signals", OperatingSignals.from_json_dict(self.signals)
+            )
 
     # -- serialisation ---------------------------------------------------------
 
     def to_json_dict(self) -> dict[str, object]:
         """A plain-JSON dict that :meth:`from_json_dict` inverts exactly."""
-        return {
+        payload: dict[str, object] = {
             "system": self.system,
             "policy": self.policy,
             "backfill": self.backfill,
@@ -216,6 +228,11 @@ class RunRequest:
             "event_index": self.event_index,
             "vectorized": self.vectorized,
         }
+        # Serialised by omission when absent: the run id hashes this dict,
+        # and a "signals": null key would re-hash every historical request.
+        if self.signals is not None:
+            payload["signals"] = self.signals.to_json_dict()
+        return payload
 
     @classmethod
     def from_json_dict(cls, data: Mapping[str, object]) -> "RunRequest":
@@ -287,6 +304,7 @@ def run_request(
         dense_ticks=request.dense_ticks,
         event_index=request.event_index,
         vectorized=request.vectorized,
+        signals=request.signals,
         obs=obs,
     )
     return engine.run()

@@ -37,6 +37,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..power.signals import OperatingSignals
 from ..units import parse_duration
 from ..workloads import (
     WorkloadSpec,
@@ -124,6 +125,15 @@ class SweepSpec:
         Entropy root for ``n_seeds`` spawning.
     horizon_s / dense_ticks:
         Forwarded to every :class:`RunRequest`.
+    power_caps:
+        Power-cap axis, kW. ``None`` means uncapped; a finite cap builds a
+        constant :class:`~repro.power.signals.OperatingSignals` for the
+        run (wrapping its policy in a
+        :class:`~repro.engine.scheduler.PowerCapScheduler`).
+    price_per_kwh / carbon_kg_per_kwh:
+        Optional constant electricity price / carbon intensity applied to
+        every run (scalar parameters, not axes); they weight the
+        ``energy_cost`` / ``carbon_kg`` summary metrics.
     custom_workloads:
         Inline workload variants: name -> :class:`WorkloadSpec`. Names
         shadow the built-in registry.
@@ -139,6 +149,9 @@ class SweepSpec:
     root_seed: int = 0
     horizon_s: float | None = None
     dense_ticks: bool = False
+    power_caps: tuple[float | None, ...] = (None,)
+    price_per_kwh: float | None = None
+    carbon_kg_per_kwh: float | None = None
     custom_workloads: Mapping[str, WorkloadSpec] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -159,11 +172,27 @@ class SweepSpec:
             raise ConfigurationError("n_seeds must be >= 1")
         if self.seeds is not None and not self.seeds:
             raise ConfigurationError("explicit seeds must be non-empty")
+        if not self.power_caps:
+            raise ConfigurationError("sweep axis 'power_caps' must be non-empty")
+        for cap in self.power_caps:
+            if cap is not None and cap <= 0:
+                raise ConfigurationError(
+                    f"power cap values must be positive kW or null, got {cap!r}"
+                )
+        for scalar in ("price_per_kwh", "carbon_kg_per_kwh"):
+            value = getattr(self, scalar)
+            if value is not None and value < 0:
+                raise ConfigurationError(f"sweep {scalar} must be >= 0")
         # Mirror RunRequest's numeric canonicalisation so equal specs always
         # materialise identical run ids (parse_duration("1h") returns int).
         object.__setattr__(self, "duration_s", float(self.duration_s))
         if self.horizon_s is not None:
             object.__setattr__(self, "horizon_s", float(self.horizon_s))
+        object.__setattr__(
+            self,
+            "power_caps",
+            tuple(None if cap is None else float(cap) for cap in self.power_caps),
+        )
         for name in self.workloads:
             if name not in self.custom_workloads and name not in WORKLOAD_VARIANTS:
                 known = sorted(set(WORKLOAD_VARIANTS) | set(self.custom_workloads))
@@ -193,7 +222,22 @@ class SweepSpec:
             len(self.systems)
             * len(self.policies)
             * len(self.workloads)
+            * len(self.power_caps)
             * self.seeds_per_point
+        )
+
+    def _signals_of(self, power_cap_kw: float | None) -> OperatingSignals | None:
+        """The constant operating signals for one cap-axis value."""
+        if (
+            power_cap_kw is None
+            and self.price_per_kwh is None
+            and self.carbon_kg_per_kwh is None
+        ):
+            return None
+        return OperatingSignals.constant(
+            power_cap_kw=power_cap_kw,
+            price_per_kwh=self.price_per_kwh,
+            carbon_kg_per_kwh=self.carbon_kg_per_kwh,
         )
 
     def materialize(self) -> list[SweepRun]:
@@ -205,7 +249,9 @@ class SweepSpec:
         — keyed by the run's *materialisation* index, never by execution or
         completion order, so sweep results cannot depend on scheduling.
         """
-        combos = list(product(self.systems, self.policies, self.workloads))
+        combos = list(
+            product(self.systems, self.policies, self.workloads, self.power_caps)
+        )
         total = len(combos) * self.seeds_per_point
         spawned: list[np.random.SeedSequence] | None = None
         if self.seeds is None:
@@ -213,7 +259,7 @@ class SweepSpec:
 
         runs: list[SweepRun] = []
         run_index = 0
-        for system, policy, workload in combos:
+        for system, policy, workload, power_cap in combos:
             for seed_slot in range(self.seeds_per_point):
                 if self.seeds is not None:
                     seed = int(self.seeds[seed_slot])
@@ -230,6 +276,7 @@ class SweepSpec:
                     spec=self._workload_spec_of(workload),
                     horizon_s=self.horizon_s,
                     dense_ticks=self.dense_ticks,
+                    signals=self._signals_of(power_cap),
                 )
                 runs.append(
                     SweepRun(
@@ -269,6 +316,9 @@ class SweepSpec:
             "root_seed": self.root_seed,
             "horizon_s": self.horizon_s,
             "dense_ticks": self.dense_ticks,
+            "power_caps": list(self.power_caps),
+            "price_per_kwh": self.price_per_kwh,
+            "carbon_kg_per_kwh": self.carbon_kg_per_kwh,
             "custom_workloads": {
                 name: workload_spec_to_dict(spec)
                 for name, spec in sorted(self.custom_workloads.items())
@@ -304,6 +354,9 @@ class SweepSpec:
             "root_seed",
             "horizon_s",
             "dense_ticks",
+            "power_caps",
+            "price_per_kwh",
+            "carbon_kg_per_kwh",
             "custom_workloads",
         }
         unknown = sorted(set(payload) - known)
@@ -319,7 +372,7 @@ class SweepSpec:
             str(name): workload_spec_from_dict(spec_dict)
             for name, spec_dict in custom_raw.items()
         }
-        for axis in ("systems", "policies", "workloads"):
+        for axis in ("systems", "policies", "workloads", "power_caps"):
             if axis in payload:
                 payload[axis] = tuple(payload[axis])
         if payload.get("seeds") is not None:

@@ -51,6 +51,23 @@ SUMMARY_COLUMNS: tuple[str, ...] = (
     "jobs_dismissed",
     "ticks",
     "simulated_s",
+    "mean_cpu_util",
+    "mean_gpu_util",
+    "energy_cost",
+    "carbon_kg",
+    "cap_violation_kwh",
+    "capped_hold_s",
+)
+
+#: Columns added after the first released schema: rows recorded by an older
+#: store predate them, so their SQL values are NULL (decoded as NaN).
+_MIGRATED_COLUMNS: tuple[str, ...] = (
+    "mean_cpu_util",
+    "mean_gpu_util",
+    "energy_cost",
+    "carbon_kg",
+    "cap_violation_kwh",
+    "capped_hold_s",
 )
 
 #: Columns the axis filters and ``order_by`` may reference (whitelist: these
@@ -119,7 +136,11 @@ class StoredRun:
 def _row_to_stored_run(row: sqlite3.Row) -> StoredRun:
     summary: dict[str, float] | None = None
     if row["status"] == "completed":
-        summary = {name: float(row[name]) for name in SUMMARY_COLUMNS}
+        # Migrated columns are NULL on rows recorded before they existed.
+        summary = {
+            name: math.nan if row[name] is None else float(row[name])
+            for name in SUMMARY_COLUMNS
+        }
     return StoredRun(
         run_id=row["run_id"],
         sweep=row["sweep"],
@@ -154,7 +175,24 @@ class ResultsStore:
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
+        self._migrate_columns()
         self._conn.commit()
+
+    def _migrate_columns(self) -> None:
+        """Bring a pre-existing database up to the current column set.
+
+        ``CREATE TABLE IF NOT EXISTS`` is a no-op on an old file, so metric
+        columns added since it was created must be bolted on here. New
+        columns start NULL on old rows (decoded as NaN) — re-running those
+        requests fills them, since ingest is an idempotent upsert.
+        """
+        existing = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(runs)").fetchall()
+        }
+        for name in SUMMARY_COLUMNS:
+            if name not in existing:
+                self._conn.execute(f"ALTER TABLE runs ADD COLUMN {name} REAL")
 
     # -- lifecycle -------------------------------------------------------------
 

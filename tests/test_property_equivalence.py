@@ -82,12 +82,13 @@ def _workload(tiny_system, *, seed, noise, phases, rate, scalar, power_trace):
     return jobs
 
 
-def _assert_dense_event_equivalent(tiny_system, jobs, policy, horizon_s):
+def _assert_dense_event_equivalent(tiny_system, jobs, policy, horizon_s, signals=None):
     sparse = SimulationEngine(
         tiny_system,
         [j.copy_for_simulation() for j in jobs],
         policy,
         horizon_s=horizon_s,
+        signals=signals,
     ).run()
     dense = SimulationEngine(
         tiny_system,
@@ -95,6 +96,7 @@ def _assert_dense_event_equivalent(tiny_system, jobs, policy, horizon_s):
         policy,
         horizon_s=horizon_s,
         dense_ticks=True,
+        signals=signals,
     ).run()
     sparse_summary, dense_summary = sparse.summary(), dense.summary()
     assert set(sparse_summary) == set(dense_summary)
@@ -126,6 +128,55 @@ def _check_property(tiny_system, seed, noise, phases, rate, scalar, power_trace,
         _assert_dense_event_equivalent(tiny_system, jobs, policy, horizon)
 
 
+def _random_signals(tiny_system, rng, *, capped):
+    """A random multi-series :class:`OperatingSignals` bundle.
+
+    Segment boundaries deliberately mix three placements: on the 15 s tick
+    grid, off-grid (x.7 fractions that never meet a tick), and coincident
+    with the hand-built adversarial jobs in :func:`_workload` (starts at
+    120.0, 420.0 and 1234.5 s). Cap levels are scaled from the tiny
+    system's 8 kW idle floor so a good fraction of draws actually bind.
+    """
+    from repro.power import OperatingSignals, SystemPowerModel
+
+    floor_kw = SystemPowerModel(tiny_system).idle_floor_kw()
+    boundary_pool = [
+        15.0 * rng.randint(1, 360),  # on the tick grid
+        15.0 * rng.randint(1, 360),
+        float(rng.randint(60, 5400)) + 0.7,  # never on a tick
+        rng.choice([120.0, 420.0, 1234.5]),  # coincident with job events
+    ]
+    times = [0.0] + sorted(set(rng.sample(boundary_pool, rng.randint(1, 3))))
+
+    def cap_value():
+        if rng.random() < 0.25:
+            return None  # an uncapped (demand-response style) window
+        return floor_kw * rng.uniform(1.0, 3.0)
+
+    return OperatingSignals(
+        power_cap_kw=tuple((t, cap_value()) for t in times) if capped else None,
+        price_per_kwh=tuple((t, rng.uniform(0.05, 0.5)) for t in times),
+        carbon_kg_per_kwh=tuple((t, rng.uniform(0.1, 0.6)) for t in times),
+    )
+
+
+def _check_signals_property(tiny_system, seed, signals_seed, capped, horizon):
+    signals = _random_signals(tiny_system, random.Random(signals_seed), capped=capped)
+    jobs = _workload(
+        tiny_system,
+        seed=seed,
+        noise=0.35,
+        phases=3,
+        rate=6.0,
+        scalar=False,
+        power_trace=True,
+    )
+    for policy in POLICIES:
+        _assert_dense_event_equivalent(
+            tiny_system, jobs, policy, horizon, signals=signals
+        )
+
+
 if HAVE_HYPOTHESIS:
 
     @settings(
@@ -152,6 +203,28 @@ if HAVE_HYPOTHESIS:
             seed, noise, phases, rate, scalar, power_trace, horizon,
         )
 
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        signals_seed=st.integers(min_value=0, max_value=2**20),
+        capped=st.booleans(),
+        horizon=st.sampled_from(HORIZONS),
+    )
+    def test_dense_event_equivalence_under_signals(
+        seed, signals_seed, capped, horizon
+    ):
+        """The 1e-9 contract extends to cap/price/carbon signals: every
+        signal step bounds a coalesced interval, capped and uncapped."""
+        from repro.config import get_system_config
+
+        _check_signals_property(
+            get_system_config("tiny"), seed, signals_seed, capped, horizon
+        )
+
 else:  # pragma: no cover - seeded-random fallback without hypothesis
 
     def _fallback_cases(count=8):
@@ -172,6 +245,22 @@ else:  # pragma: no cover - seeded-random fallback without hypothesis
     @pytest.mark.parametrize("case", _fallback_cases())
     def test_dense_event_equivalence_property(tiny_system, case):
         _check_property(tiny_system, *case)
+
+    def _fallback_signal_cases(count=6):
+        rng = random.Random(2026)
+        return [
+            (
+                rng.randrange(2**20),
+                rng.randrange(2**20),
+                rng.random() < 0.7,
+                rng.choice(HORIZONS),
+            )
+            for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("case", _fallback_signal_cases())
+    def test_dense_event_equivalence_under_signals(tiny_system, case):
+        _check_signals_property(tiny_system, *case)
 
 
 class TestEdgeCaseEquivalence:

@@ -25,7 +25,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import run_simulation
+from repro import OperatingSignals, run_simulation
 from repro.exceptions import ConfigurationError
 from repro.sweep import (
     ResultsStore,
@@ -669,3 +669,308 @@ class TestSweepCli:
             pass
         assert main(["query", str(store_path), "--metrics", "bogus_kwh"]) == 2
         assert "unknown metric column" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Operating-signals axis (power caps / price / carbon)
+
+
+class TestSignalsInRequests:
+    def test_signals_round_trip(self) -> None:
+        request = RunRequest(
+            system="tiny",
+            seed=3,
+            signals=OperatingSignals(
+                power_cap_kw=((0.0, None), (1800.0, 12.0), (3600.0, None)),
+                price_per_kwh=((0.0, 0.12),),
+            ),
+        )
+        again = RunRequest.from_json(request.to_json())
+        assert again == request
+        assert again.run_id == request.run_id
+
+    def test_absent_signals_leave_json_unchanged(self) -> None:
+        # Serialise-by-omission: a request without signals must hash to the
+        # id it always had, or every historical store would be orphaned.
+        payload = json.loads(RunRequest(system="tiny", seed=3).to_json())
+        assert "signals" not in payload
+
+    def test_signals_change_the_run_id(self) -> None:
+        base = RunRequest(system="tiny", seed=3)
+        capped = RunRequest(
+            system="tiny",
+            seed=3,
+            signals=OperatingSignals.constant(power_cap_kw=12.0),
+        )
+        assert base.run_id != capped.run_id
+
+
+class TestSweepSpecCapAxis:
+    def test_cap_axis_multiplies_the_grid(self) -> None:
+        spec = small_spec(power_caps=(None, 12.0))
+        runs = spec.materialize()
+        assert len(runs) == spec.total_runs == 2 * 2 * 2
+        capped = [r for r in runs if r.request.signals is not None]
+        uncapped = [r for r in runs if r.request.signals is None]
+        assert len(capped) == len(uncapped) == 4
+        for run in capped:
+            assert run.request.signals.cap_at(0.0) == 12.0
+
+    def test_default_axis_preserves_run_ids(self) -> None:
+        # power_caps=(None,) is the default: a spec that never mentions the
+        # axis and one that spells out the default must produce byte-identical
+        # run ids, or the new field would orphan every historical store.
+        # (Adding a cap *value* renumbers seeds — they are keyed by run
+        # index across the whole grid, as pinned elsewhere in this module.)
+        plain = small_spec().materialize()
+        explicit = small_spec(power_caps=(None,)).materialize()
+        assert [r.run_id for r in plain] == [r.run_id for r in explicit]
+        assert all(r.request.signals is None for r in explicit)
+
+    def test_scalar_price_and_carbon_build_signals(self) -> None:
+        spec = small_spec(price_per_kwh=0.12, carbon_kg_per_kwh=0.35)
+        runs = spec.materialize()
+        for run in runs:
+            assert run.request.signals is not None
+            assert run.request.signals.price_at(0.0) == 0.12
+            assert run.request.signals.carbon_at(0.0) == 0.35
+            assert not run.request.signals.has_cap
+
+    def test_json_round_trip_with_cap_axis(self) -> None:
+        spec = small_spec(power_caps=(None, 12.0), price_per_kwh=0.12)
+        data = spec.to_json_dict()
+        json.dumps(data, allow_nan=False)
+        assert SweepSpec.from_json_dict(data) == spec
+
+    def test_invalid_caps_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="power_caps"):
+            small_spec(power_caps=())
+        with pytest.raises(ConfigurationError, match="positive kW or null"):
+            small_spec(power_caps=(0.0,))
+        with pytest.raises(ConfigurationError, match="price_per_kwh"):
+            small_spec(price_per_kwh=-0.1)
+
+    def test_cap_sweep_end_to_end_query_by_cost(self, tmp_path: Path) -> None:
+        spec = small_spec(
+            "caps",
+            policies=("fcfs",),
+            n_seeds=1,
+            power_caps=(None, 12.0),
+            price_per_kwh=0.12,
+        )
+        path = tmp_path / "caps.sqlite"
+        outcome = run_sweep(spec, path, workers=1, heartbeat_interval_s=None)
+        assert outcome.completed == 2
+        with ResultsStore(path) as store:
+            rows = store.runs(order_by="energy_cost")
+            assert len(rows) == 2
+            costs = [r.summary["energy_cost"] for r in rows if r.summary]
+            assert costs == sorted(costs)
+            assert all(cost > 0.0 for cost in costs)
+            # The capped run burns less energy, hence costs less.
+            assert rows[0].summary is not None
+            assert rows[0].summary["cap_violation_kwh"] == 0.0
+        assert assert_store_matches_fresh_runs(path) == 2
+
+
+class TestStoreMigration:
+    def test_old_schema_store_gains_columns_on_open(self, tmp_path: Path) -> None:
+        """Opening a pre-signals store adds the new REAL columns in place;
+        old rows read back NaN for them and new rows record normally."""
+        new_columns = (
+            "mean_cpu_util",
+            "mean_gpu_util",
+            "energy_cost",
+            "carbon_kg",
+            "cap_violation_kwh",
+            "capped_hold_s",
+        )
+        path = tmp_path / "old.sqlite"
+        with ResultsStore(path) as store:
+            TestResultsStore()._record(store, "old1", value=2.0)
+        # Rewind the schema to the pre-migration layout (DROP COLUMN needs
+        # sqlite >= 3.35, which the test environment guarantees).
+        assert sqlite3.sqlite_version_info >= (3, 35)
+        with sqlite3.connect(path) as conn:
+            for name in new_columns:
+                conn.execute(f"ALTER TABLE runs DROP COLUMN {name}")
+        with sqlite3.connect(path) as conn:
+            names = {row[1] for row in conn.execute("PRAGMA table_info(runs)")}
+        assert not names & set(new_columns)
+
+        with ResultsStore(path) as store:
+            old = store.runs()[0]
+            assert old.summary is not None
+            assert old.summary["total_energy_kwh"] == 2.0
+            for name in new_columns:
+                assert math.isnan(old.summary[name])
+            TestResultsStore()._record(store, "new1", value=3.0, run_index=1)
+            by_id = {r.run_id: r for r in store.runs()}
+            assert by_id["new1"].summary is not None
+            assert by_id["new1"].summary["energy_cost"] == 3.0
+
+
+# ---------------------------------------------------------------------------
+# Driver regressions: lost final outcome, interrupt safety
+
+
+def _identity(obj: object) -> object:
+    return obj
+
+
+class _EmbargoQueue:
+    """Parent-side queue wrapper that keeps each ``_RunOutcome`` in flight.
+
+    Regression driver for the lost-final-outcome bug: results delivered by a
+    worker are withheld from the parent's ``get`` for ``embargo_s`` after
+    arrival, and ``empty()`` lies (always ``True``) the way a cross-process
+    ``Queue.empty()`` legitimately may. An ingest loop that terminates on
+    "all futures done and the queue looks empty" drops the last outcome;
+    the accounting loop must keep draining until every run has reported.
+    """
+
+    def __init__(self, proxy: object, embargo_s: float = 0.4) -> None:
+        self._proxy = proxy
+        self._embargo_s = embargo_s
+        self._held: object | None = None
+        self._release_at = 0.0
+
+    def __reduce__(self):  # workers unpickle straight to the raw proxy
+        return (_identity, (self._proxy,))
+
+    def empty(self) -> bool:
+        return True
+
+    def _maybe_release(self) -> object | None:
+        import time as time_module
+
+        if self._held is not None and time_module.monotonic() >= self._release_at:
+            message, self._held = self._held, None
+            return message
+        return None
+
+    def get(self, timeout: float | None = None) -> object:
+        import queue as queue_module
+        import time as time_module
+
+        from repro.sweep.driver import _RunOutcome
+
+        released = self._maybe_release()
+        if released is not None:
+            return released
+        message = self._proxy.get(timeout=timeout)  # type: ignore[attr-defined]
+        if isinstance(message, _RunOutcome) and self._held is None:
+            self._held = message
+            self._release_at = time_module.monotonic() + self._embargo_s
+            raise queue_module.Empty
+        return message
+
+    def get_nowait(self) -> object:
+        import queue as queue_module
+
+        released = self._maybe_release()
+        if released is not None:
+            return released
+        if self._held is not None:  # salvage must not lose the embargoed one
+            message, self._held = self._held, None
+            return message
+        message = self._proxy.get_nowait()  # type: ignore[attr-defined]
+        return message
+
+
+class TestDriverRegressions:
+    def test_final_outcome_in_flight_is_not_lost(
+        self, tmp_path: Path, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        """Every run's outcome lands in the store even when delivery lags
+        future completion (the ``Queue.empty()``-peeking bug)."""
+        from repro.sweep import driver
+
+        real_results_queue = driver._results_queue
+        monkeypatch.setattr(
+            driver,
+            "_results_queue",
+            lambda manager: _EmbargoQueue(real_results_queue(manager)),
+        )
+        spec = small_spec("lag", policies=("fcfs",), n_seeds=2)
+        path = tmp_path / "lag.sqlite"
+        outcome = run_sweep(
+            spec, path, workers=2, chunk_size=1, heartbeat_interval_s=None
+        )
+        assert outcome.completed == 2
+        assert outcome.failed == 0
+        with ResultsStore(path) as store:
+            assert store.count_by_status() == {"completed": 2}
+
+    def test_interrupt_salvages_and_resumes(
+        self, tmp_path: Path, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        """Ctrl-C mid-ingest: recorded rows stay durable, queued outcomes
+        are salvaged, the pool dies, and re-running finishes the sweep."""
+        import io
+
+        from repro.sweep import driver
+
+        real_record = driver._record_outcome
+        calls = {"n": 0}
+
+        def interrupting_record(store, run, outcome):  # type: ignore[no-untyped-def]
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt
+            real_record(store, run, outcome)
+
+        monkeypatch.setattr(driver, "_record_outcome", interrupting_record)
+        spec = small_spec("intr", n_seeds=2)  # 4 runs
+        path = tmp_path / "intr.sqlite"
+        stream = io.StringIO()
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                spec,
+                path,
+                workers=2,
+                chunk_size=2,
+                heartbeat_interval_s=3600.0,
+                stream=stream,
+            )
+        assert "re-run the same sweep to resume" in stream.getvalue()
+
+        # The kill footprint: only fully-recorded completed rows, each one
+        # identical to a fresh in-process run. The interrupted outcome
+        # itself was dropped mid-record and stays pending.
+        with ResultsStore(path) as store:
+            counts = store.count_by_status()
+        recorded = counts.get("completed", 0)
+        assert 1 <= recorded < spec.total_runs
+        assert assert_store_matches_fresh_runs(path) == recorded
+
+        monkeypatch.setattr(driver, "_record_outcome", real_record)
+        finished = run_sweep(spec, path, workers=2, heartbeat_interval_s=None)
+        assert finished.skipped == recorded
+        assert finished.completed == spec.total_runs - recorded
+        with ResultsStore(path) as store:
+            rows = store.runs()
+            assert len(rows) == spec.total_runs
+            assert {r.run_id for r in rows} == {
+                run.run_id for run in spec.materialize()
+            }
+        assert assert_store_matches_fresh_runs(path) == spec.total_runs
+
+    def test_cli_reports_interrupt_as_exit_130(
+        self, tmp_path: Path, monkeypatch: pytest.MonkeyPatch, capsys: pytest.CaptureFixture[str]
+    ) -> None:
+        from repro.sweep import cli
+
+        def interrupted_run(args):  # type: ignore[no-untyped-def]
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli.__dict__, "_cmd_run", interrupted_run)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps({"name": "x", "duration": "1h", "n_seeds": 1})
+        )
+        code = cli.main(
+            ["run", str(spec_path), "--store", str(tmp_path / "s.sqlite")]
+        )
+        assert code == 130
+        assert "re-run the same command to resume" in capsys.readouterr().err
