@@ -63,6 +63,17 @@ numbers written to ``BENCH_engine.json`` in the repository root:
     store matches the single-process store metric for metric and that the
     public ``run_simulation`` shim reproduces stored rows.
 
+``engine_batch_mc``
+    A 32-seed Monte Carlo study of the busy-trace window, run twice: one
+    serial ``run_request`` per seed (workload generation included — that
+    cost is real and the batch path amortises it), then one
+    ``repro.engine.run_batch`` call executing all replicas in-process on
+    the shared-pool batch kernel. Records runs/s for both legs plus the
+    speedup, and gates — at the same 1e-9 — that every batched replica's
+    summary matches its serial twin and that every replica ran to
+    completion with all jobs accounted for (completed + dismissed = total;
+    a replica silently dropping work would otherwise look "fast").
+
 The script doubles as the CI metrics gate: ``--golden PATH`` compares the
 24 h run's summary against a committed golden record and exits non-zero on
 drift beyond 1e-6 relative tolerance; ``--write-golden PATH`` refreshes the
@@ -625,6 +636,80 @@ def bench_sweep_throughput(args):
     return record
 
 
+def bench_batch_mc(args, system):
+    """N seed replicas of the busy-trace window: batched vs serial kernels.
+
+    The serial leg is the honest baseline a Monte Carlo user runs today —
+    one ``run_request`` per seed, each re-deriving the system config, power
+    model, workload post-processing and power states. The batched leg
+    executes the identical replicas through ``run_batch`` on one shared
+    pool. Both legs include workload generation in the timing; that is the
+    per-replica cost the batch kernel exists to amortise.
+    """
+    from dataclasses import replace
+
+    from repro.engine import run_batch
+    from repro.sweep import RunRequest, run_request
+
+    request = RunRequest(
+        system=args.system,
+        policy=args.policy,
+        duration_s=parse_duration(args.busy_duration),
+        spec=busy_trace_spec(),
+    )
+    seeds = list(range(args.mc_seeds))
+
+    started = time.perf_counter()
+    serial_results = [run_request(replace(request, seed=seed)) for seed in seeds]
+    serial_wall_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch_results = run_batch(request, seeds)
+    batch_wall_s = time.perf_counter() - started
+
+    drift = 0.0
+    if len(batch_results) != len(serial_results):
+        drift = math.inf
+    else:
+        for serial_result, batch_result in zip(serial_results, batch_results):
+            drift = max(
+                drift,
+                _summary_drift(batch_result.summary(), serial_result.summary()),
+            )
+    all_replicas_completed = len(batch_results) == len(seeds) and all(
+        len(result.stats.completed_jobs) + len(result.stats.dismissed_jobs)
+        == len(result.jobs)
+        for result in batch_results
+    )
+
+    record = {
+        "benchmark": "engine_batch_mc",
+        "system": system.name,
+        "policy": args.policy,
+        "duration": args.busy_duration,
+        "replicas": len(seeds),
+        "jobs_total": sum(len(result.jobs) for result in batch_results),
+        "serial": {
+            "wall_s": serial_wall_s,
+            "runs_per_s": len(seeds) / serial_wall_s if serial_wall_s > 0 else 0.0,
+        },
+        "batched": {
+            "wall_s": batch_wall_s,
+            "runs_per_s": len(seeds) / batch_wall_s if batch_wall_s > 0 else 0.0,
+        },
+        "speedup": serial_wall_s / batch_wall_s if batch_wall_s > 0 else math.inf,
+        "all_replicas_completed": all_replicas_completed,
+        "max_summary_drift_rel": drift,
+    }
+    print(
+        f"batch-mc: {len(seeds)} replicas of busy-trace over "
+        f"{args.busy_duration}; {record['serial']['runs_per_s']:.2f} runs/s "
+        f"serial vs {record['batched']['runs_per_s']:.2f} runs/s batched "
+        f"({record['speedup']:.2f}x), drift {drift:.2e}"
+    )
+    return record
+
+
 def _is_finite_number(value) -> bool:
     return (
         isinstance(value, (int, float))
@@ -791,6 +876,10 @@ def main() -> int:
         "--sweep-chunk-size", type=int, default=4,
         help="runs per pool task in the sweep benchmark",
     )
+    parser.add_argument(
+        "--mc-seeds", type=int, default=32,
+        help="seed replicas in the Monte Carlo batch benchmark",
+    )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -831,6 +920,7 @@ def main() -> int:
     frontier_record = bench_frontier_scale(args)
     burst_record = bench_burst_arrival(args)
     sweep_record = bench_sweep_throughput(args)
+    batch_mc_record = bench_batch_mc(args, system)
 
     record = dict(window_record)
     record["idle_heavy"] = idle_record
@@ -839,6 +929,7 @@ def main() -> int:
     record["frontier_scale"] = frontier_record
     record["burst_arrival"] = burst_record
     record["sweep_throughput"] = sweep_record
+    record["batch_mc"] = batch_mc_record
     record["python"] = platform.python_version()
     record["machine"] = platform.machine()
 
@@ -948,6 +1039,22 @@ def main() -> int:
                 f"{sweep_record['benchmark']}: {label} summary drift "
                 f"{sweep_record[drift_key]:.3e} > {EQUIVALENCE_RTOL:.0e}"
             )
+    # The Monte Carlo batch kernel's whole contract is replica isolation:
+    # every batched replica must reproduce its serial twin at the
+    # equivalence tolerance, and every replica must finish with all of its
+    # jobs accounted for — a dropped replica or job is a correctness bug no
+    # matter how good the speedup looks.
+    if not batch_mc_record["max_summary_drift_rel"] <= EQUIVALENCE_RTOL:
+        equivalence_failures.append(
+            f"{batch_mc_record['benchmark']}: batched-vs-serial summary "
+            f"drift {batch_mc_record['max_summary_drift_rel']:.3e} > "
+            f"{EQUIVALENCE_RTOL:.0e}"
+        )
+    if not batch_mc_record["all_replicas_completed"]:
+        equivalence_failures.append(
+            f"{batch_mc_record['benchmark']}: not every replica completed "
+            "with all jobs accounted for"
+        )
     # The frontier-scale benchmark only means something at frontier scale.
     if frontier_record["max_running_jobs"] < 1000:
         equivalence_failures.append(

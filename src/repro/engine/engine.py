@@ -160,6 +160,12 @@ class SimulationEngine:
         the engine runs the uninstrumented hot path: one ``is None``
         attribute check per phase per step, gated by the benchmark
         harness's wall-time record. See :mod:`repro.obs`.
+    power_model:
+        Optional pre-built :class:`~repro.power.SystemPowerModel` to use
+        instead of constructing one. The model is stateless over a run, so
+        the batch engine (:mod:`repro.engine.batch`) shares one instance —
+        node models, loss model and all — across every replica of a Monte
+        Carlo batch.
     """
 
     def __init__(
@@ -175,6 +181,7 @@ class SimulationEngine:
         vectorized: bool = True,
         signals: OperatingSignals | None = None,
         obs: Observability | None = None,
+        power_model: SystemPowerModel | None = None,
     ) -> None:
         self.system = system
         self.signals = signals
@@ -195,7 +202,12 @@ class SimulationEngine:
         self.scheduler.reset()
         self.scheduler.vectorized = vectorized
         self.resource_manager = ResourceManager(system, seed=seed)
-        self.power_model = SystemPowerModel(system)
+        # The power model is stateless over a run, so batched Monte Carlo
+        # replicas of the same system inject one shared instance (sharing
+        # the node models and loss model); ``None`` builds a private one.
+        self.power_model = (
+            power_model if power_model is not None else SystemPowerModel(system)
+        )
         #: Incremental system-power evaluation over the running set: per-job
         #: contributions are pre-evaluated on each profile's change-point
         #: grid at job start — batched across every job starting in the same

@@ -307,6 +307,74 @@ class StatsCollector:
             mean_gpu_util=power.mean_gpu_util,
         )
 
+    @hot_path
+    def record_tick_scalars(
+        self,
+        now: float,
+        dt_s: float,
+        *,
+        compute_power_kw: float,
+        loss_kw: float,
+        cooling_kw: float,
+        pue: float,
+        allocated_nodes: int,
+        utilization: float,
+        running_jobs: int,
+        queued_jobs: int,
+        mean_cpu_util: float,
+        mean_gpu_util: float,
+        price_per_kwh: float = 0.0,
+        carbon_kg_per_kwh: float = 0.0,
+        power_cap_kw: float = math.inf,
+        cap_held_jobs: int = 0,
+    ) -> None:
+        """:meth:`record_tick` on pre-composed scalars (batch-engine path).
+
+        Byte-for-byte the same column writes and accumulator updates as
+        :meth:`record_tick` — ``facility_kw`` is derived here with the exact
+        association ``(compute + loss) + cooling`` the sample-based path
+        uses — but without requiring the caller to box its scalars into a
+        :class:`SystemPowerSample`/:class:`CoolingPlantState` pair first.
+        The batch engine's lean step keeps everything scalar; equality of
+        the two recorders is enforced by the batched-vs-serial 1e-9 gates.
+        """
+        facility_kw = (compute_power_kw + loss_kw) + cooling_kw
+        index = self._tick_count
+        columns = self._columns
+        if index == len(columns["time_s"]):
+            self._grow()
+            columns = self._columns
+        columns["time_s"][index] = now
+        columns["dt_s"][index] = dt_s
+        columns["compute_power_kw"][index] = compute_power_kw
+        columns["loss_power_kw"][index] = loss_kw
+        columns["cooling_power_kw"][index] = cooling_kw
+        columns["facility_power_kw"][index] = facility_kw
+        columns["pue"][index] = pue
+        columns["allocated_nodes"][index] = allocated_nodes
+        columns["utilization"][index] = utilization
+        columns["running_jobs"][index] = running_jobs
+        columns["queued_jobs"][index] = queued_jobs
+        columns["mean_cpu_util"][index] = mean_cpu_util
+        columns["mean_gpu_util"][index] = mean_gpu_util
+        self._tick_count = index + 1
+        hours = dt_s / 3600.0
+        self._energy_kwh += facility_kw * hours
+        self._it_energy_kwh += compute_power_kw * hours
+        self._cooling_energy_kwh += cooling_kw * hours
+        self._utilization_weight += utilization * dt_s
+        self._cpu_util_weight += mean_cpu_util * dt_s
+        self._gpu_util_weight += mean_gpu_util * dt_s
+        self._time_weight_s += dt_s
+        self._energy_cost += facility_kw * hours * price_per_kwh
+        self._carbon_kg += facility_kw * hours * carbon_kg_per_kwh
+        if compute_power_kw > power_cap_kw:
+            self._cap_violation_kwh += (compute_power_kw - power_cap_kw) * hours
+        if cap_held_jobs:
+            self._capped_hold_s += cap_held_jobs * dt_s
+        if compute_power_kw > 0 and math.isfinite(pue) and pue > self._max_pue:
+            self._max_pue = pue
+
     def record_job(self, job: Job) -> None:
         """Record a job leaving the system (completed or dismissed)."""
         if job.state is not JobState.COMPLETED:

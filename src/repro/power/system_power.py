@@ -733,23 +733,7 @@ class RunningSetPowerAggregator:
             # Heap entries of ended jobs are discarded lazily.
         if started_jobs:
             self.states_built += len(started_jobs)
-            if self._batch_states and len(started_jobs) > 1:
-                self.batched_builds += 1
-                states = build_power_states(
-                    [
-                        (job, self._model.node_model(job.partition))
-                        for job in started_jobs
-                    ],
-                    now,
-                )
-            else:
-                states = [
-                    _JobPowerState.for_job(
-                        job, self._model.node_model(job.partition), now
-                    )
-                    for job in started_jobs
-                ]
-            for state in states:
+            for state in self._build_states(started_jobs, now):
                 job_id = state.job.job_id
                 self._states[job_id] = state
                 self._job_power_w += state.current_power_w
@@ -764,6 +748,32 @@ class RunningSetPowerAggregator:
             self._job_power_w = 0.0
             self._cpu_weighted = 0.0
             self._gpu_weighted = 0.0
+
+    def _build_states(
+        self, started_jobs: list[Job], now: float
+    ) -> list[_JobPowerState]:
+        """Construct the power states of jobs that just entered the running set.
+
+        Extracted from :meth:`_sync_membership` as the one overridable seam:
+        subclasses that already hold prebuilt grids (the batch engine's
+        :class:`~repro.engine.batch.PrebuiltPowerStateAggregator`) substitute
+        their pool here, and the batched/per-job choice stays in one place.
+        Both built-in paths produce bit-identical arrays (contract of
+        :func:`build_power_states`).
+        """
+        if self._batch_states and len(started_jobs) > 1:
+            self.batched_builds += 1
+            return build_power_states(
+                [
+                    (job, self._model.node_model(job.partition))
+                    for job in started_jobs
+                ],
+                now,
+            )
+        return [
+            _JobPowerState.for_job(job, self._model.node_model(job.partition), now)
+            for job in started_jobs
+        ]
 
     @hot_path
     def _apply_due_changes(self, now: float) -> None:

@@ -295,6 +295,29 @@ def _owned_float_array(data: Iterable[float]) -> np.ndarray:
     return np.asarray(list(data), dtype=float)
 
 
+def trusted_profile(times: np.ndarray, values: np.ndarray) -> Profile:
+    """Build a :class:`Profile` from arrays the caller guarantees are valid.
+
+    Skips the validating copies of ``Profile.__init__``: the arrays are
+    marked read-only and stored as-is, so sharing one ``times`` array across
+    many profiles costs nothing. The caller must hand over 1-D float64
+    arrays of equal length with non-negative strictly increasing times and
+    finite values, and must not mutate them (or any array they view)
+    afterwards. Only construction-time-guaranteed producers — the batched
+    workload generator — should use this; everything else goes through
+    ``Profile`` and gets the checks.
+    """
+    profile = Profile.__new__(Profile)
+    times.setflags(write=False)
+    values.setflags(write=False)
+    profile._times = times
+    profile._values = values
+    profile._change_times = None
+    profile._grid_times = None
+    profile._grid_values = None
+    return profile
+
+
 def constant_profile(value: float, duration: float = 0.0) -> Profile:
     """Build a scalar (single- or two-sample) profile holding ``value``.
 
